@@ -1,0 +1,129 @@
+// Command semibench regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	semibench -table 1            # Table I: instance statistics
+//	semibench -table 2            # Table II: MULTIPROC-UNIT quality
+//	semibench -table 3            # Table III: related weights
+//	semibench -table 8            # TR Table 8: random weights
+//	semibench -table sp           # SINGLEPROC tables (Sec. V-B), d=10
+//	semibench -table sp -d 2      # ... other degree parameters
+//	semibench -table all          # everything
+//	semibench -quick              # reduced grid (3 seeds, 2 sizes)
+//	semibench -seeds 5 -workers 1 # methodology knobs
+//	semibench -naive              # naive vector heuristics (ablation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semimatch/internal/bench"
+	"semimatch/internal/gen"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to run: 1, 2, 3, 8, sp, all")
+	quick := flag.Bool("quick", false, "reduced grid: 2 sizes, 3 seeds")
+	seeds := flag.Int("seeds", 0, "instances per parameter set (default 10, paper's setting)")
+	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS; 1 for timing-grade runs)")
+	naive := flag.Bool("naive", false, "use the naive O(p log p) vector heuristics (ablation)")
+	d := flag.Int("d", 10, "degree parameter for SINGLEPROC tables")
+	flag.Parse()
+
+	opts := bench.Options{Quick: *quick, Seeds: *seeds, Workers: *workers, Naive: *naive}
+
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "semibench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	want := func(t string) bool { return *table == t || *table == "all" }
+
+	if want("1") {
+		run("table 1", func() error {
+			res, err := bench.RunHyperTable(gen.Unit, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Table I: random hypergraph instances ==")
+			fmt.Print(bench.FormatHyperStats(res))
+			fmt.Println()
+			return nil
+		})
+	}
+	if want("2") {
+		run("table 2", func() error {
+			res, err := bench.RunHyperTable(gen.Unit, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Table II: MULTIPROC-UNIT quality vs LB ==")
+			fmt.Print(bench.FormatHyperTable(res))
+			fmt.Println()
+			return nil
+		})
+	}
+	if want("3") {
+		run("table 3", func() error {
+			res, err := bench.RunHyperTable(gen.Related, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Table III: MULTIPROC related-weights quality vs LB ==")
+			fmt.Print(bench.FormatHyperTable(res))
+			fmt.Println()
+			return nil
+		})
+	}
+	if want("8") {
+		run("table 8", func() error {
+			res, err := bench.RunHyperTable(gen.Random, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== TR Table 8: MULTIPROC random-weights quality vs LB ==")
+			fmt.Print(bench.FormatHyperTable(res))
+			fmt.Println()
+			return nil
+		})
+	}
+	if want("fig3") {
+		run("fig3", func() error {
+			maxK := 12
+			if *quick {
+				maxK = 8
+			}
+			fmt.Println("== Fig. 3: Chain(k) worst-case scaling ==")
+			fmt.Print(bench.FormatAdversarial(bench.RunAdversarial(maxK)))
+			fmt.Println()
+			return nil
+		})
+	}
+	if want("sp") {
+		for _, generator := range []gen.Generator{gen.FewgManyg, gen.HiLo} {
+			for _, g := range []int{32, 128} {
+				generator, g := generator, g
+				run("sp", func() error {
+					res, err := bench.RunSingleProc(generator, *d, g, opts)
+					if err != nil {
+						return err
+					}
+					fmt.Printf("== SINGLEPROC-UNIT: %s, d=%d, g=%d ==\n", generator, *d, g)
+					fmt.Print(bench.FormatSPTable(res))
+					fmt.Println()
+					return nil
+				})
+			}
+		}
+	}
+	switch *table {
+	case "1", "2", "3", "8", "sp", "fig3", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "semibench: unknown -table %q (want 1, 2, 3, 8, sp, fig3 or all)\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,83 @@
+// Command semigen generates random instances in the semimatch text format.
+//
+// Usage:
+//
+//	semigen -kind hyper -gen fewgmanyg -n 1280 -p 256 -dv 5 -dh 10 -g 32 \
+//	        -weights related -seed 1 > instance.txt
+//	semigen -kind bipartite -gen hilo -n 5120 -p 256 -d 10 -g 32 > sp.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"semimatch/internal/encode"
+	"semimatch/internal/gen"
+)
+
+func main() {
+	kind := flag.String("kind", "hyper", "instance kind: hyper or bipartite")
+	genName := flag.String("gen", "fewgmanyg", "generator: hilo or fewgmanyg")
+	n := flag.Int("n", 1280, "number of tasks")
+	p := flag.Int("p", 256, "number of processors")
+	dv := flag.Int("dv", 5, "mean configurations per task (hyper)")
+	dh := flag.Int("dh", 10, "processors-per-configuration parameter (hyper)")
+	d := flag.Int("d", 10, "degree parameter (bipartite)")
+	g := flag.Int("g", 32, "number of groups")
+	weights := flag.String("weights", "unit", "weight scheme: unit, related or random")
+	maxw := flag.Int64("maxw", 100, "maximum weight for -weights random")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "semigen: %v\n", err)
+		os.Exit(1)
+	}
+
+	var generator gen.Generator
+	switch strings.ToLower(*genName) {
+	case "hilo":
+		generator = gen.HiLo
+	case "fewgmanyg":
+		generator = gen.FewgManyg
+	default:
+		fail(fmt.Errorf("unknown generator %q", *genName))
+	}
+
+	switch *kind {
+	case "bipartite":
+		gr, err := gen.Bipartite(generator, *n, *p, *g, *d, *seed)
+		if err != nil {
+			fail(err)
+		}
+		if err := encode.WriteBipartite(os.Stdout, gr); err != nil {
+			fail(err)
+		}
+	case "hyper":
+		var scheme gen.WeightScheme
+		switch strings.ToLower(*weights) {
+		case "unit":
+			scheme = gen.Unit
+		case "related":
+			scheme = gen.Related
+		case "random":
+			scheme = gen.Random
+		default:
+			fail(fmt.Errorf("unknown weight scheme %q", *weights))
+		}
+		h, err := gen.Hypergraph(gen.HyperParams{
+			Gen: generator, N: *n, P: *p, Dv: *dv, Dh: *dh, G: *g,
+			Weights: scheme, MaxW: *maxw,
+		}, *seed)
+		if err != nil {
+			fail(err)
+		}
+		if err := encode.WriteHypergraph(os.Stdout, h); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown kind %q (want hyper or bipartite)", *kind))
+	}
+}

@@ -1,0 +1,148 @@
+// Command semisched schedules a JSON instance file (named tasks and
+// processors — the sched package's external format) and prints the chosen
+// schedule as JSON, optionally with a Gantt chart.
+//
+// Usage:
+//
+//	semisched -alg evg instance.json
+//	semisched -alg portfolio -refine -gantt instance.json
+//	semisched -alg exact instance.json       # branch and bound, small inputs
+//
+// Algorithms: sgh, egh, vgh, evg, exact, portfolio.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semimatch/internal/core"
+	"semimatch/internal/portfolio"
+	"semimatch/internal/refine"
+	"semimatch/internal/sched"
+)
+
+func main() {
+	alg := flag.String("alg", "portfolio", "algorithm: sgh, egh, vgh, evg, exact, portfolio")
+	doRefine := flag.Bool("refine", false, "post-process with local search")
+	gantt := flag.Bool("gantt", false, "print a Gantt chart to stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: semisched [-alg name] [-refine] [-gantt] <instance.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	in, err := sched.ReadInstanceJSON(f)
+	if err != nil {
+		fail(err)
+	}
+
+	var s *sched.Schedule
+	label := *alg
+	switch *alg {
+	case "sgh":
+		s, err = sched.Solve(in, sched.SortedGreedy)
+	case "egh":
+		s, err = sched.Solve(in, sched.ExpectedGreedy)
+	case "vgh":
+		s, err = sched.Solve(in, sched.VectorGreedy)
+	case "evg":
+		s, err = sched.Solve(in, sched.ExpectedVectorGreedy)
+	case "exact":
+		s, err = sched.Solve(in, sched.Exact)
+	case "portfolio":
+		s, err = solvePortfolio(in, *doRefine)
+		if err == nil {
+			label = fmt.Sprintf("portfolio(refine=%v)", *doRefine)
+		}
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *doRefine && *alg != "portfolio" {
+		if err := refineSchedule(in, s); err != nil {
+			fail(err)
+		}
+		label += "+refine"
+	}
+	if err := s.WriteJSON(os.Stdout, label); err != nil {
+		fail(err)
+	}
+	if *gantt {
+		tl := s.Simulate()
+		if err := tl.Validate(s); err != nil {
+			fail(err)
+		}
+		tl.Gantt(os.Stderr, s)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "semisched: %v\n", err)
+	os.Exit(1)
+}
+
+// solvePortfolio runs the concurrent portfolio and lifts the winner back
+// into a sched.Schedule.
+func solvePortfolio(in *sched.Instance, doRefine bool) (*sched.Schedule, error) {
+	h, err := in.Hypergraph()
+	if err != nil {
+		return nil, err
+	}
+	res := portfolio.Solve(h, portfolio.Options{Refine: doRefine})
+	return scheduleFromAssignment(in, res.Assignment)
+}
+
+// refineSchedule applies local search to an existing schedule in place.
+func refineSchedule(in *sched.Instance, s *sched.Schedule) error {
+	h, err := in.Hypergraph()
+	if err != nil {
+		return err
+	}
+	a := make(core.HyperAssignment, len(in.Tasks))
+	for t := range in.Tasks {
+		a[t] = h.TaskEdges(t)[s.Choice[t]]
+	}
+	res := refine.Refine(h, a, refine.Options{})
+	refined, err := scheduleFromAssignment(in, res.Assignment)
+	if err != nil {
+		return err
+	}
+	*s = *refined
+	return nil
+}
+
+// scheduleFromAssignment converts a hypergraph assignment back into the
+// named-schedule form.
+func scheduleFromAssignment(in *sched.Instance, a core.HyperAssignment) (*sched.Schedule, error) {
+	h, err := in.Hypergraph()
+	if err != nil {
+		return nil, err
+	}
+	if err := core.ValidateHyperAssignment(h, a); err != nil {
+		return nil, err
+	}
+	s := &sched.Schedule{Instance: in, Choice: make([]int, len(in.Tasks))}
+	for t := range in.Tasks {
+		found := -1
+		for j, e := range h.TaskEdges(t) {
+			if e == a[t] {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("semisched: internal error mapping assignment")
+		}
+		s.Choice[t] = found
+	}
+	s.Loads = core.HyperLoads(h, a)
+	s.Makespan = core.HyperMakespan(h, a)
+	return s, nil
+}

@@ -1,0 +1,164 @@
+// Command semisolve reads an instance file (bipartite or hypergraph,
+// auto-detected) and schedules it.
+//
+// Usage:
+//
+//	semisolve -alg evg instance.txt
+//	semisolve -alg exact -show-loads sp.txt
+//
+// Bipartite algorithms: basic, sorted, double, expected, exact (unit
+// graphs), harvey (unit graphs), bnb.
+// Hypergraph algorithms: sgh, vgh, egh, evg, bnb.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"semimatch/internal/bipartite"
+	"semimatch/internal/core"
+	"semimatch/internal/encode"
+	"semimatch/internal/exact"
+	"semimatch/internal/hypergraph"
+	"semimatch/internal/refine"
+)
+
+func main() {
+	alg := flag.String("alg", "evg", "algorithm (see doc comment)")
+	showLoads := flag.Bool("show-loads", false, "print the per-processor loads")
+	doRefine := flag.Bool("refine", false, "post-process hypergraph schedules with local search")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: semisolve [-alg name] [-show-loads] <instance-file>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	kind, err := encode.DetectKind(data)
+	if err != nil {
+		fail(err)
+	}
+	switch kind {
+	case "bipartite":
+		g, err := encode.ReadBipartite(bytes.NewReader(data))
+		if err != nil {
+			fail(err)
+		}
+		solveBipartite(g, *alg, *showLoads)
+	case "hypergraph":
+		h, err := encode.ReadHypergraph(bytes.NewReader(data))
+		if err != nil {
+			fail(err)
+		}
+		solveHyper(h, *alg, *showLoads, *doRefine)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "semisolve: %v\n", err)
+	os.Exit(1)
+}
+
+func solveBipartite(g *bipartite.Graph, alg string, showLoads bool) {
+	start := time.Now()
+	var a core.Assignment
+	var err error
+	optimal := false
+	switch alg {
+	case "basic":
+		a = core.BasicGreedy(g, core.GreedyOptions{})
+	case "sorted":
+		a = core.SortedGreedy(g, core.GreedyOptions{})
+	case "double":
+		a = core.DoubleSorted(g, core.GreedyOptions{})
+	case "expected":
+		a = core.ExpectedGreedy(g, core.GreedyOptions{})
+	case "exact":
+		a, _, err = core.ExactUnit(g, core.ExactOptions{})
+		optimal = true
+	case "harvey":
+		a, err = core.HarveyOptimal(g)
+		optimal = true
+	case "bnb":
+		a, _, err = exact.SolveSingleProc(g, exact.Options{})
+		optimal = true
+	default:
+		fail(fmt.Errorf("unknown bipartite algorithm %q", alg))
+	}
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+	if err := core.ValidateAssignment(g, a); err != nil {
+		fail(err)
+	}
+	fmt.Printf("instance: bipartite, %d tasks, %d processors, %d edges\n", g.NLeft, g.NRight, g.NumEdges())
+	fmt.Printf("algorithm: %s (%.3fs)\n", alg, elapsed.Seconds())
+	fmt.Printf("makespan: %d%s\n", core.Makespan(g, a), optMark(optimal))
+	if showLoads {
+		printLoads(core.Loads(g, a))
+	}
+}
+
+func solveHyper(h *hypergraph.Hypergraph, alg string, showLoads, doRefine bool) {
+	start := time.Now()
+	var a core.HyperAssignment
+	var err error
+	optimal := false
+	switch alg {
+	case "sgh":
+		a = core.SortedGreedyHyp(h, core.HyperOptions{})
+	case "vgh":
+		a = core.VectorGreedyHyp(h, core.HyperOptions{})
+	case "egh":
+		a = core.ExpectedGreedyHyp(h, core.HyperOptions{})
+	case "evg":
+		a = core.ExpectedVectorGreedyHyp(h, core.HyperOptions{})
+	case "bnb":
+		a, _, err = exact.SolveMultiProc(h, exact.Options{})
+		optimal = true
+	default:
+		fail(fmt.Errorf("unknown hypergraph algorithm %q", alg))
+	}
+	if err != nil {
+		fail(err)
+	}
+	if doRefine {
+		res := refine.Refine(h, a, refine.Options{})
+		a = res.Assignment
+		fmt.Printf("refinement: %d moves in %d rounds (%d → %d)\n",
+			res.Moves, res.Rounds, res.Before, res.After)
+	}
+	elapsed := time.Since(start)
+	if err := core.ValidateHyperAssignment(h, a); err != nil {
+		fail(err)
+	}
+	lb := core.LowerBound(h)
+	m := core.HyperMakespan(h, a)
+	fmt.Printf("instance: hypergraph, %d tasks, %d processors, %d hyperedges, %d pins\n",
+		h.NTasks, h.NProcs, h.NumEdges(), h.NumPins())
+	fmt.Printf("algorithm: %s (%.3fs)\n", alg, elapsed.Seconds())
+	fmt.Printf("makespan: %d%s, lower bound: %d, ratio: %.3f\n",
+		m, optMark(optimal), lb, float64(m)/float64(lb))
+	if showLoads {
+		printLoads(core.HyperLoads(h, a))
+	}
+}
+
+func optMark(optimal bool) string {
+	if optimal {
+		return " (optimal)"
+	}
+	return ""
+}
+
+func printLoads(loads []int64) {
+	for p, l := range loads {
+		fmt.Printf("P%-5d %d\n", p, l)
+	}
+}

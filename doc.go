@@ -1,0 +1,45 @@
+// Package semimatch is a Go implementation of the semi-matching algorithms
+// for scheduling parallel tasks under resource constraints from:
+//
+//	Anne Benoit, Johannes Langguth, Bora Uçar.
+//	"Semi-matching algorithms for scheduling parallel tasks under
+//	resource constraints." IEEE IPDPSW 2013, pp. 1744–1753.
+//
+// # The problems
+//
+// SINGLEPROC: n sequential tasks, each restricted to a subset of p
+// processors, minimize the maximum processor load (makespan). This is
+// semi-matching in a bipartite graph; NP-complete with general weights,
+// polynomial with unit weights.
+//
+// MULTIPROC: tasks are parallel — each task chooses one configuration,
+// a set of processors that all spend w time on it. This is semi-matching
+// in a bipartite hypergraph; NP-complete even with unit weights, and not
+// approximable within 2−ε unless P=NP (Theorem 1).
+//
+// # What the package provides
+//
+//   - Exact SINGLEPROC-UNIT solver (deadline search over capacitated
+//     matchings) and the Harvey–Ladner–Lovász–Tamir optimal semi-matching.
+//   - The greedy heuristics basic/sorted/double-sorted/expected for
+//     bipartite instances, and SGH/VGH/EGH/EVG for hypergraph instances,
+//     plus the Eq. (1) lower bound.
+//   - Branch-and-bound exact solvers for small NP-hard instances.
+//   - The paper's random instance generators (HiLo, FewgManyg, two-stage
+//     hypergraphs; unit/related/random weights) and worst-case families.
+//   - A scheduling front end (named tasks and processors, Gantt charts)
+//     and an experiment harness regenerating every table of the paper.
+//
+// # Quick start
+//
+//	in := semimatch.NewInstance("cpu0", "cpu1", "gpu")
+//	in.AddTask("render",
+//	    semimatch.Config{Procs: []int{0}, Time: 8},
+//	    semimatch.Config{Procs: []int{0, 2}, Time: 3})
+//	in.AddTask("encode", semimatch.Config{Procs: []int{1}, Time: 6})
+//	s, err := semimatch.Solve(in, semimatch.ExpectedVectorGreedy)
+//	// s.Makespan, s.Choice, s.Simulate() ...
+//
+// See examples/ for runnable programs and cmd/semibench for the
+// experiment harness.
+package semimatch

@@ -1,0 +1,91 @@
+package semimatch_test
+
+import (
+	"fmt"
+
+	"semimatch"
+)
+
+// The Fig. 1 instance of the paper: two tasks, two processors. T1 can run
+// anywhere, T2 only on P0. Basic greedy stacks both on P0; the exact
+// algorithm balances them.
+func ExampleExactUnit() {
+	b := semimatch.NewGraphBuilder(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	g, _ := b.Build()
+
+	basic := semimatch.BasicGreedy(g, semimatch.GreedyOptions{})
+	fmt.Println("basic-greedy makespan:", semimatch.Makespan(g, basic))
+
+	_, opt, _ := semimatch.ExactUnit(g, semimatch.ExactOptions{})
+	fmt.Println("optimal makespan:", opt)
+	// Output:
+	// basic-greedy makespan: 2
+	// optimal makespan: 1
+}
+
+// A MULTIPROC instance in the hypergraph form: a task may run alone on P0
+// (4 time units) or split over P1 and P2 (2 units each).
+func ExampleLowerBound() {
+	b := semimatch.NewHypergraphBuilder(2, 3)
+	b.AddEdge(0, []int{0}, 4)
+	b.AddEdge(0, []int{1, 2}, 2)
+	b.AddEdge(1, []int{0}, 3)
+	h, _ := b.Build()
+
+	fmt.Println("lower bound:", semimatch.LowerBound(h))
+	a := semimatch.ExpectedVectorGreedyHyp(h, semimatch.HyperOptions{})
+	fmt.Println("EVG makespan:", semimatch.HyperMakespan(h, a))
+	// Output:
+	// lower bound: 3
+	// EVG makespan: 3
+}
+
+// The scheduling front end: named processors and tasks, solved and
+// simulated.
+func ExampleSolve() {
+	in := semimatch.NewInstance("cpu", "gpu")
+	in.AddTask("train",
+		semimatch.Config{Procs: []int{0}, Time: 9},
+		semimatch.Config{Procs: []int{0, 1}, Time: 4})
+	in.AddTask("etl", semimatch.Config{Procs: []int{0}, Time: 3})
+
+	s, _ := semimatch.Solve(in, semimatch.ExactSchedule)
+	fmt.Println("makespan:", s.Makespan)
+	fmt.Println("train runs on", len(in.Tasks[0].Configs[s.Choice[0]].Procs), "processors")
+	// Output:
+	// makespan: 7
+	// train runs on 2 processors
+}
+
+// Chain(k) is the paper's Fig. 3 family: sorted-greedy is k times worse
+// than optimal, and online greedy realizes the Θ(log p) competitive lower
+// bound exactly.
+func ExampleChain() {
+	g := semimatch.Chain(5)
+	sorted := semimatch.SortedGreedy(g, semimatch.GreedyOptions{})
+	fmt.Println("sorted-greedy:", semimatch.Makespan(g, sorted))
+	_, opt, _ := semimatch.ExactUnit(g, semimatch.ExactOptions{})
+	fmt.Println("optimal:", opt)
+	// Output:
+	// sorted-greedy: 5
+	// optimal: 1
+}
+
+// Portfolio runs all four hypergraph heuristics concurrently and returns
+// the best result; with Refine it post-processes each with local search.
+func ExamplePortfolio() {
+	b := semimatch.NewHypergraphBuilder(3, 2)
+	b.AddEdge(0, []int{0}, 5)
+	b.AddEdge(0, []int{1}, 5)
+	b.AddEdge(1, []int{0}, 2)
+	b.AddEdge(2, []int{1}, 2)
+	h, _ := b.Build()
+
+	res := semimatch.Portfolio(h, semimatch.PortfolioOptions{Refine: true})
+	fmt.Println("makespan:", res.Makespan)
+	// Output:
+	// makespan: 7
+}

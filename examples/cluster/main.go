@@ -1,0 +1,125 @@
+// Cluster: a heterogeneous-cluster scheduling scenario — the setting the
+// paper's introduction motivates (server virtualization, accelerators,
+// tasks choosing among combinations of computational resources).
+//
+// A batch of jobs arrives at a cluster of CPU nodes and a few accelerator
+// nodes. Each job offers several configurations: run on any single CPU
+// node of its placement domain (slow), gang up 2 or 4 CPU nodes (faster
+// per node), or pair one CPU node with an accelerator (fastest). The goal
+// is the minimum makespan. We compare the four hypergraph heuristics and
+// the lower bound, then print the bottleneck report of the best schedule.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"semimatch"
+)
+
+const (
+	cpuNodes   = 48
+	accelNodes = 8
+	racks      = 4
+	jobs       = 300
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Processor naming: cpu-<rack>-<i> then accel-<i>.
+	var names []string
+	for r := 0; r < racks; r++ {
+		for i := 0; i < cpuNodes/racks; i++ {
+			names = append(names, fmt.Sprintf("cpu-%d-%d", r, i))
+		}
+	}
+	for i := 0; i < accelNodes; i++ {
+		names = append(names, fmt.Sprintf("accel-%d", i))
+	}
+	in := semimatch.NewInstance(names...)
+
+	cpusOfRack := func(r int) []int {
+		base := r * (cpuNodes / racks)
+		out := make([]int, cpuNodes/racks)
+		for i := range out {
+			out[i] = base + i
+		}
+		return out
+	}
+
+	for j := 0; j < jobs; j++ {
+		rack := rng.Intn(racks) // placement domain: jobs stay in one rack
+		domain := cpusOfRack(rack)
+		work := int64(4 + rng.Intn(28)) // sequential work units
+
+		var cfgs []semimatch.Config
+		// Single-node configurations on a few eligible nodes.
+		for _, c := range rng.Perm(len(domain))[:3] {
+			cfgs = append(cfgs, semimatch.Config{Procs: []int{domain[c]}, Time: work})
+		}
+		// A 2-node gang: parallel efficiency 90%.
+		pair := rng.Perm(len(domain))[:2]
+		cfgs = append(cfgs, semimatch.Config{
+			Procs: []int{domain[pair[0]], domain[pair[1]]},
+			Time:  (work*10 + 17) / 18, // ceil(work / (2*0.9))
+		})
+		// Some jobs can offload: CPU + accelerator, 4x speedup.
+		if rng.Intn(3) == 0 {
+			acc := cpuNodes + rng.Intn(accelNodes)
+			cpu := domain[rng.Intn(len(domain))]
+			t := (work + 3) / 4
+			cfgs = append(cfgs, semimatch.Config{Procs: []int{cpu, acc}, Time: t})
+		}
+		in.AddTask(fmt.Sprintf("job-%03d", j), cfgs...)
+	}
+
+	h, err := in.Hypergraph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb := semimatch.LowerBound(h)
+	fmt.Printf("cluster: %d CPU nodes in %d racks, %d accelerators, %d jobs\n",
+		cpuNodes, racks, accelNodes, jobs)
+	fmt.Printf("lower bound on makespan: %d\n\n", lb)
+
+	best := semimatch.Algorithm(0)
+	bestM := int64(1) << 62
+	for _, alg := range []semimatch.Algorithm{
+		semimatch.SGH, semimatch.VGH, semimatch.EGH, semimatch.ExpectedVectorGreedy,
+	} {
+		s, err := semimatch.Solve(in, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s makespan %5d   (%.3f x LB)\n", alg, s.Makespan, float64(s.Makespan)/float64(lb))
+		if s.Makespan < bestM {
+			best, bestM = alg, s.Makespan
+		}
+	}
+
+	s, err := semimatch.Solve(in, best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest schedule: %v (makespan %d)\n", best, s.Makespan)
+	fmt.Println("five most loaded nodes:")
+	for _, line := range s.LoadReport()[:5] {
+		fmt.Println("  ", line)
+	}
+	// Count how many jobs chose accelerator configurations.
+	offloaded := 0
+	for t, task := range in.Tasks {
+		cfg := task.Configs[s.Choice[t]]
+		for _, p := range cfg.Procs {
+			if p >= cpuNodes {
+				offloaded++
+				break
+			}
+		}
+	}
+	fmt.Printf("jobs using an accelerator: %d\n", offloaded)
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a small MULTIPROC instance through the public API,
+// schedule it with every algorithm, and print the resulting Gantt chart.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"semimatch"
+)
+
+func main() {
+	// Three processors: two CPUs and one GPU. Tasks may run sequentially
+	// on one CPU, or split across CPU+GPU for a shorter per-processor
+	// time (the paper's "parallel tasks with resource constraints").
+	in := semimatch.NewInstance("cpu0", "cpu1", "gpu")
+	in.AddTask("render",
+		semimatch.Config{Procs: []int{0}, Time: 8},
+		semimatch.Config{Procs: []int{1}, Time: 8},
+		semimatch.Config{Procs: []int{0, 2}, Time: 3},
+	)
+	in.AddTask("encode",
+		semimatch.Config{Procs: []int{1}, Time: 6},
+		semimatch.Config{Procs: []int{1, 2}, Time: 2},
+	)
+	in.AddTask("archive",
+		semimatch.Config{Procs: []int{0}, Time: 4},
+		semimatch.Config{Procs: []int{1}, Time: 4},
+	)
+	in.AddTask("index",
+		semimatch.Config{Procs: []int{0, 1}, Time: 2},
+		semimatch.Config{Procs: []int{2}, Time: 5},
+	)
+
+	for _, alg := range []semimatch.Algorithm{
+		semimatch.SGH, semimatch.EGH, semimatch.VGH,
+		semimatch.ExpectedVectorGreedy, semimatch.ExactSchedule,
+	} {
+		s, err := semimatch.Solve(in, alg)
+		if err != nil {
+			log.Fatalf("%v: %v", alg, err)
+		}
+		fmt.Printf("%-6s makespan %d", alg, s.Makespan)
+		if s.Optimal {
+			fmt.Print("  (proven optimal)")
+		}
+		fmt.Println()
+	}
+
+	// Show the best schedule as a timeline.
+	s, err := semimatch.Solve(in, semimatch.ExactSchedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	tl := s.Simulate()
+	if err := tl.Validate(s); err != nil {
+		log.Fatal(err)
+	}
+	tl.Gantt(os.Stdout, s)
+	fmt.Println("\nbottlenecks:", s.LoadReport()[0])
+}

@@ -1,0 +1,193 @@
+// Package adversarial constructs the worst-case instance families used in
+// the paper's analysis:
+//
+//   - Fig1: the two-task toy where basic-greedy is 2× off.
+//   - Chain(k): Fig. 3's family where basic- and sorted-greedy reach
+//     makespan k while the optimum is 1.
+//   - ChainPlus: the extension sketched in Sec. IV-B3 (TR Fig. 4) that also
+//     fools double-sorted (makespan 3 vs optimum 1).
+//   - ExpectedTrap: the 16×16 extension sketched in Sec. IV-B4 (TR Fig. 5)
+//     where even expected-greedy ties into the same wrong decisions.
+//   - X3C gadgets: the reduction of Theorem 1 from Exact Cover by 3-Sets to
+//     MULTIPROC-UNIT (makespan 1 ⇔ exact cover exists).
+//
+// The TR figures are not in the paper text; ChainPlus and ExpectedTrap are
+// reconstructions from the prose that provably exhibit the claimed traps
+// (asserted by this package's tests).
+package adversarial
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semimatch/internal/bipartite"
+	"semimatch/internal/hypergraph"
+)
+
+// Fig1 returns the instance of Fig. 1: T0 → {P0, P1}, T1 → {P0}.
+// Basic-greedy (index order, ties to the lowest index) assigns both tasks
+// to P0 for makespan 2; the optimum is 1.
+func Fig1() *bipartite.Graph {
+	b := bipartite.NewBuilder(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	return b.MustBuild()
+}
+
+// Chain returns the Fig. 3 family for parameter k ≥ 1: 2^k − 1 tasks on
+// 2^k processors. Task T^(ℓ)_i (ℓ = 0..k−1, i = 1..2^{k−1−ℓ}) may run on
+// P_i or P_{i+2^{k−1−ℓ}}; tasks are numbered level by level, so index
+// order is the order the paper's argument requires. The optimal makespan
+// is 1 (place every task on its high processor); basic- and sorted-greedy
+// produce makespan k (every level collapses onto the low processors).
+func Chain(k int) *bipartite.Graph {
+	if k < 1 {
+		panic("adversarial: Chain requires k >= 1")
+	}
+	n := (1 << k) - 1
+	p := 1 << k
+	b := bipartite.NewBuilder(n, p)
+	t := 0
+	for l := 0; l < k; l++ {
+		span := 1 << (k - 1 - l)
+		for i := 1; i <= span; i++ {
+			b.AddEdge(t, i-1)      // P_i
+			b.AddEdge(t, i+span-1) // P_{i+2^{k-1-l}}
+			t++
+		}
+	}
+	return b.MustBuild()
+}
+
+// ChainPlus returns the 12-task, 12-processor extension of Chain(3)
+// described in Sec. IV-B3: T7 (0-based) on {P2, P3} equalizes the
+// in-degrees of P0–P3 at 3, and four degree-3 tasks T8–T11 (processed last
+// by degree-sorted heuristics) raise P4–P7 to in-degree 3 while each
+// having a private processor P8–P11. Double-sorted then ties exactly like
+// sorted-greedy and reaches makespan 3; the optimum is 1.
+func ChainPlus() *bipartite.Graph {
+	b := bipartite.NewBuilder(12, 12)
+	addChain3(b)
+	// T7: {P2, P3}.
+	b.AddEdge(7, 2)
+	b.AddEdge(7, 3)
+	// Degree-3 tasks covering P4..P7 twice, each with a private processor.
+	b.AddEdge(8, 4)
+	b.AddEdge(8, 5)
+	b.AddEdge(8, 8)
+	b.AddEdge(9, 6)
+	b.AddEdge(9, 7)
+	b.AddEdge(9, 9)
+	b.AddEdge(10, 4)
+	b.AddEdge(10, 5)
+	b.AddEdge(10, 10)
+	b.AddEdge(11, 6)
+	b.AddEdge(11, 7)
+	b.AddEdge(11, 11)
+	return b.MustBuild()
+}
+
+// addChain3 adds the 7 tasks of Chain(3) over processors P0..P7 to b.
+func addChain3(b *bipartite.Builder) {
+	t := 0
+	for l := 0; l < 3; l++ {
+		span := 1 << (2 - l)
+		for i := 1; i <= span; i++ {
+			b.AddEdge(t, i-1)
+			b.AddEdge(t, i+span-1)
+			t++
+		}
+	}
+}
+
+// ExpectedTrap returns the 16-task, 16-processor instance of Sec. IV-B4:
+// all tasks have out-degree 2 and the expected loads o(u) of P0–P7 are all
+// equal (1.5), so expected-greedy cannot distinguish the chain's low and
+// high processors and falls into the same trap as sorted-greedy (makespan
+// 3); the optimum is 1.
+//
+// Construction: Chain(3) (tasks T0–T6) + T7 on {P2,P3} (so P0–P3 have
+// in-degree 3), plus eight tasks T8–T15, each on {P_{8+i}, q} where the
+// q's cover P4–P7 twice (so P4–P7 reach in-degree 3 and expected load
+// 3·(1/2) everywhere).
+func ExpectedTrap() *bipartite.Graph {
+	b := bipartite.NewBuilder(16, 16)
+	addChain3(b)
+	b.AddEdge(7, 2)
+	b.AddEdge(7, 3)
+	for i := 0; i < 8; i++ {
+		t := 8 + i
+		q := 4 + i/2 // P4,P4,P5,P5,P6,P6,P7,P7
+		b.AddEdge(t, q)
+		b.AddEdge(t, 8+i) // private processor
+	}
+	return b.MustBuild()
+}
+
+// X3C is an instance of Exact Cover by 3-Sets: a universe of 3q elements
+// and a collection of 3-element subsets. The question is whether q
+// pairwise-disjoint subsets cover the universe.
+type X3C struct {
+	Q    int      // |X| = 3Q
+	Sets [][3]int // collection C; elements in [0, 3Q)
+}
+
+// Validate checks element ranges and set distinctness-within-set.
+func (x X3C) Validate() error {
+	if x.Q < 1 {
+		return fmt.Errorf("adversarial: X3C needs q >= 1")
+	}
+	for i, s := range x.Sets {
+		for _, e := range s {
+			if e < 0 || e >= 3*x.Q {
+				return fmt.Errorf("adversarial: set %d element %d out of range", i, e)
+			}
+		}
+		if s[0] == s[1] || s[0] == s[2] || s[1] == s[2] {
+			return fmt.Errorf("adversarial: set %d has repeated elements", i)
+		}
+	}
+	return nil
+}
+
+// ToMultiproc builds the MULTIPROC-UNIT instance of Theorem 1's reduction:
+// the 3q elements become processors, q tasks each have every set of C as a
+// configuration, all weights 1. The instance has a schedule of makespan 1
+// iff the X3C instance has an exact cover.
+func (x X3C) ToMultiproc() (*hypergraph.Hypergraph, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x.Sets) == 0 {
+		return nil, fmt.Errorf("adversarial: empty collection")
+	}
+	b := hypergraph.NewBuilder(x.Q, 3*x.Q)
+	for t := 0; t < x.Q; t++ {
+		for _, s := range x.Sets {
+			b.AddEdge(t, []int{s[0], s[1], s[2]}, 1)
+		}
+	}
+	return b.Build()
+}
+
+// RandomX3C generates a random X3C instance with q·3 elements and extra
+// random sets. If planted is true the instance is guaranteed solvable: a
+// random partition of X into q triples is included among the sets.
+func RandomX3C(rng *rand.Rand, q, extraSets int, planted bool) X3C {
+	x := X3C{Q: q}
+	if planted {
+		perm := rng.Perm(3 * q)
+		for i := 0; i < q; i++ {
+			s := [3]int{perm[3*i], perm[3*i+1], perm[3*i+2]}
+			x.Sets = append(x.Sets, s)
+		}
+	}
+	for i := 0; i < extraSets; i++ {
+		perm := rng.Perm(3 * q)
+		x.Sets = append(x.Sets, [3]int{perm[0], perm[1], perm[2]})
+	}
+	// Shuffle so a planted cover is not trivially the prefix.
+	rng.Shuffle(len(x.Sets), func(i, j int) { x.Sets[i], x.Sets[j] = x.Sets[j], x.Sets[i] })
+	return x
+}

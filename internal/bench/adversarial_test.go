@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAdversarial(t *testing.T) {
+	rows := RunAdversarial(6)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Tasks != (1<<r.K)-1 || r.Procs != 1<<r.K {
+			t.Fatalf("k=%d: sizes %d/%d", r.K, r.Tasks, r.Procs)
+		}
+		if r.Basic != int64(r.K) || r.Sorted != int64(r.K) {
+			t.Fatalf("k=%d: basic=%d sorted=%d, want %d (the Fig. 3 claim)", r.K, r.Basic, r.Sorted, r.K)
+		}
+		if r.Optimal != 1 {
+			t.Fatalf("k=%d: optimal=%d, want 1", r.K, r.Optimal)
+		}
+		if r.Double != 1 || r.Expected != 1 {
+			t.Fatalf("k=%d: double=%d expected=%d (both escape the bare chain)", r.K, r.Double, r.Expected)
+		}
+		if r.OnlineComp != float64(r.K) {
+			t.Fatalf("k=%d: online ratio %v, want %d", r.K, r.OnlineComp, r.K)
+		}
+	}
+}
+
+func TestFormatAdversarial(t *testing.T) {
+	out := FormatAdversarial(RunAdversarial(3))
+	if !strings.Contains(out, "optimal") || !strings.Contains(out, "online") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("want header + 2 rows:\n%s", out)
+	}
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"semimatch/internal/gen"
+)
+
+// quickOpts keeps harness tests CI-sized.
+var quickOpts = Options{Quick: true, Seeds: 2}
+
+func TestRunHyperTableUnitQuick(t *testing.T) {
+	res, err := RunHyperTable(gen.Unit, quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(Families)*len(QuickSizes) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.LB < 1 {
+			t.Fatalf("%s: LB %v", r.Name, r.LB)
+		}
+		for _, a := range HyperAlgorithms {
+			q := r.Quality[a]
+			if q < 1.0 {
+				t.Fatalf("%s %s: quality %v < 1 (heuristic below the lower bound)", r.Name, a, q)
+			}
+			if q > 50 {
+				t.Fatalf("%s %s: quality %v absurd", r.Name, a, q)
+			}
+		}
+	}
+	// Naming convention.
+	if !strings.HasPrefix(res.Rows[0].Name, "FG-") || !strings.HasSuffix(res.Rows[0].Name, "-MP") {
+		t.Fatalf("unit name = %q", res.Rows[0].Name)
+	}
+}
+
+func TestRunHyperTableWeightedNames(t *testing.T) {
+	res, err := RunHyperTable(gen.Related, Options{Quick: true, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(res.Rows[0].Name, "-MP-W") {
+		t.Fatalf("weighted name = %q", res.Rows[0].Name)
+	}
+	res2, err := RunHyperTable(gen.Random, Options{Quick: true, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(res2.Rows[0].Name, "-MP-R") {
+		t.Fatalf("random name = %q", res2.Rows[0].Name)
+	}
+}
+
+func TestNaiveMatchesFastQuality(t *testing.T) {
+	// The ablation switch must not change results, only speed. Smallest
+	// size only: the naive vector heuristics are O(p log p) per candidate.
+	tiny := Options{Seeds: 1, SizesOverride: []SizeRow{{"5-1", 1280, 256}}}
+	fast, err := RunHyperTable(gen.Related, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny.Naive = true
+	naive, err := RunHyperTable(gen.Related, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast.Rows {
+		for _, a := range HyperAlgorithms {
+			if fast.Rows[i].Quality[a] != naive.Rows[i].Quality[a] {
+				t.Fatalf("%s %s: fast %v != naive %v", fast.Rows[i].Name, a,
+					fast.Rows[i].Quality[a], naive.Rows[i].Quality[a])
+			}
+		}
+	}
+}
+
+func TestFormatHyperOutputs(t *testing.T) {
+	res, err := RunHyperTable(gen.Unit, Options{Quick: true, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsOut := FormatHyperStats(res)
+	if !strings.Contains(statsOut, "|N|") || !strings.Contains(statsOut, "FG-5-1-MP") {
+		t.Fatalf("stats output:\n%s", statsOut)
+	}
+	tableOut := FormatHyperTable(res)
+	for _, a := range HyperAlgorithms {
+		if !strings.Contains(tableOut, a) {
+			t.Fatalf("table output missing %s:\n%s", a, tableOut)
+		}
+	}
+	if !strings.Contains(tableOut, "Average quality") || !strings.Contains(tableOut, "Average time") {
+		t.Fatalf("table output missing summary:\n%s", tableOut)
+	}
+}
+
+func TestRunSingleProcQuick(t *testing.T) {
+	for _, generator := range []gen.Generator{gen.FewgManyg, gen.HiLo} {
+		res, err := RunSingleProc(generator, 5, 32, quickOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(QuickSizes) {
+			t.Fatalf("rows = %d", len(res.Rows))
+		}
+		for _, r := range res.Rows {
+			if r.Opt < 1 {
+				t.Fatalf("%s: OPT %v", r.Name, r.Opt)
+			}
+			for _, a := range SPAlgorithms {
+				if r.Quality[a] < 1.0 {
+					t.Fatalf("%s %s: quality %v < 1 (heuristic beat the exact optimum)", r.Name, a, r.Quality[a])
+				}
+			}
+		}
+		out := FormatSPTable(res)
+		if !strings.Contains(out, "OPT") || !strings.Contains(out, "expected") {
+			t.Fatalf("SP table output:\n%s", out)
+		}
+	}
+}
+
+func TestSortedNotWorseThanBasicOnAverage(t *testing.T) {
+	// The paper's central SINGLEPROC claim: sorting improves basic-greedy.
+	res, err := RunSingleProc(gen.FewgManyg, 5, 32, Options{Quick: true, Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgQual["sorted"] > res.AvgQual["basic"]+1e-9 {
+		t.Fatalf("sorted (%v) worse than basic (%v)", res.AvgQual["sorted"], res.AvgQual["basic"])
+	}
+}
+
+func TestRankByQuality(t *testing.T) {
+	avg := map[string]float64{"a": 1.5, "b": 1.2, "c": 1.9}
+	got := RankByQuality(avg, []string{"a", "b", "c"})
+	if got[0] != "b" || got[2] != "c" {
+		t.Fatalf("rank = %v", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	if (Options{}).seeds() != 10 {
+		t.Fatal("default seeds must be 10")
+	}
+	if (Options{Quick: true}).seeds() != 3 {
+		t.Fatal("quick seeds must be 3")
+	}
+	if (Options{Seeds: 4}).seeds() != 4 {
+		t.Fatal("explicit seeds")
+	}
+	if (Options{}).workers() < 1 {
+		t.Fatal("workers must be >= 1")
+	}
+	if len((Options{Quick: true}).sizes()) >= len((Options{}).sizes()) {
+		t.Fatal("quick grid must be smaller")
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"semimatch/internal/hypergraph"
+	"semimatch/internal/loadvec"
+)
+
+// HyperAssignment maps each task to the hyperedge (configuration) chosen
+// for it — the semi-matching M in the hypergraph.
+type HyperAssignment []int32
+
+// HyperLoads returns per-processor loads under a: processor u carries
+// Σ_{h ∈ M, u ∈ h} w_h.
+func HyperLoads(h *hypergraph.Hypergraph, a HyperAssignment) []int64 {
+	loads := make([]int64, h.NProcs)
+	for t := 0; t < h.NTasks; t++ {
+		e := a[t]
+		if e == Unassigned {
+			continue
+		}
+		w := h.Weight[e]
+		for _, u := range h.EdgeProcs(e) {
+			loads[u] += w
+		}
+	}
+	return loads
+}
+
+// HyperMakespan returns max_u l(u) under a.
+func HyperMakespan(h *hypergraph.Hypergraph, a HyperAssignment) int64 {
+	max := int64(0)
+	for _, l := range HyperLoads(h, a) {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// ValidateHyperAssignment checks that a picks exactly one hyperedge per
+// task and that the hyperedge belongs to the task.
+func ValidateHyperAssignment(h *hypergraph.Hypergraph, a HyperAssignment) error {
+	if len(a) != h.NTasks {
+		return fmt.Errorf("core: assignment has %d entries for %d tasks", len(a), h.NTasks)
+	}
+	for t := 0; t < h.NTasks; t++ {
+		e := a[t]
+		if e == Unassigned {
+			return fmt.Errorf("core: task %d unassigned", t)
+		}
+		if e < 0 || int(e) >= h.NumEdges() {
+			return fmt.Errorf("core: task %d assigned out-of-range hyperedge %d", t, e)
+		}
+		if h.Owner[e] != int32(t) {
+			return fmt.Errorf("core: hyperedge %d belongs to task %d, not %d", e, h.Owner[e], t)
+		}
+	}
+	return nil
+}
+
+// LowerBound computes LB of Eq. (1): each task in its globally cheapest
+// configuration (minimizing w_h·|h∩V2|), total work spread perfectly over
+// the p processors. Because integral weights make the optimal makespan
+// integral, the bound is rounded up.
+func LowerBound(h *hypergraph.Hypergraph) int64 {
+	if h.NProcs == 0 {
+		return 0
+	}
+	total := int64(0)
+	for t := 0; t < h.NTasks; t++ {
+		best := int64(-1)
+		for _, e := range h.TaskEdges(t) {
+			c := h.Weight[e] * int64(h.EdgeSize(e))
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		if best > 0 {
+			total += best
+		}
+	}
+	p := int64(h.NProcs)
+	return (total + p - 1) / p
+}
+
+// HyperOptions tunes the MULTIPROC heuristics. The zero value reproduces
+// the paper's algorithms with the fast load-vector machinery.
+type HyperOptions struct {
+	// AfterLoad switches the SGH/EGH selection rule from the paper's
+	// min over h of max_{u∈h} l(u) to min over h of max_{u∈h} (l(u)+w_h).
+	// Identical when all candidate weights are equal; an ablation knob.
+	AfterLoad bool
+	// Naive forces the vector heuristics to materialize and sort the full
+	// load vector per candidate (the paper's implemented variant) instead
+	// of the incrementally sorted list (the improvement the paper
+	// describes at the end of Sec. IV-D3). Results are identical.
+	Naive bool
+}
+
+// hyperTaskOrder returns task indices by non-decreasing configuration
+// count, ties by index.
+func hyperTaskOrder(h *hypergraph.Hypergraph) []int32 {
+	order := make([]int32, h.NTasks)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return h.TaskDegree(int(order[i])) < h.TaskDegree(int(order[j]))
+	})
+	return order
+}
+
+// SortedGreedyHyp is Algorithm 4 (SGH): tasks by non-decreasing degree;
+// each picks the hyperedge minimizing the maximum current load over its
+// processors. O(Σ_h |h|) after sorting.
+func SortedGreedyHyp(h *hypergraph.Hypergraph, opts HyperOptions) HyperAssignment {
+	a := make(HyperAssignment, h.NTasks)
+	loads := make([]int64, h.NProcs)
+	for _, t := range hyperTaskOrder(h) {
+		bestE := Unassigned
+		var bestKey int64
+		for _, e := range h.TaskEdges(int(t)) {
+			key := int64(0)
+			for _, u := range h.EdgeProcs(e) {
+				if loads[u] > key {
+					key = loads[u]
+				}
+			}
+			if opts.AfterLoad {
+				key += h.Weight[e]
+			}
+			if bestE == Unassigned || key < bestKey {
+				bestE, bestKey = e, key
+			}
+		}
+		a[t] = bestE
+		w := h.Weight[bestE]
+		for _, u := range h.EdgeProcs(bestE) {
+			loads[u] += w
+		}
+	}
+	return a
+}
+
+// ExpectedGreedyHyp is Algorithm 5 (EGH): like SGH but driven by expected
+// loads o(u); every hyperedge h of a task v initially contributes w_h/d_v
+// to each of its processors. Choosing h collapses the distribution.
+// O(Σ_h |h|) because updates touch each hyperedge a constant number of
+// times.
+func ExpectedGreedyHyp(h *hypergraph.Hypergraph, opts HyperOptions) HyperAssignment {
+	a := make(HyperAssignment, h.NTasks)
+	o := initExpected(h)
+	for _, t := range hyperTaskOrder(h) {
+		bestE := Unassigned
+		bestKey := 0.0
+		for _, e := range h.TaskEdges(int(t)) {
+			key := 0.0
+			for _, u := range h.EdgeProcs(e) {
+				if o[u] > key {
+					key = o[u]
+				}
+			}
+			if opts.AfterLoad {
+				key += float64(h.Weight[e])
+			}
+			if bestE == Unassigned || key < bestKey {
+				bestE, bestKey = e, key
+			}
+		}
+		a[t] = bestE
+		commitExpected(h, int(t), bestE, o)
+	}
+	return a
+}
+
+// initExpected computes o(u) = Σ_{h ∋ u} w_h/d_{owner(h)}.
+func initExpected(h *hypergraph.Hypergraph) []float64 {
+	o := make([]float64, h.NProcs)
+	for t := 0; t < h.NTasks; t++ {
+		d := float64(h.TaskDegree(t))
+		for _, e := range h.TaskEdges(t) {
+			share := float64(h.Weight[e]) / d
+			for _, u := range h.EdgeProcs(e) {
+				o[u] += share
+			}
+		}
+	}
+	return o
+}
+
+// commitExpected realizes hyperedge chosen for task t in the expected-load
+// vector: its processors gain w−w/d, all other configurations' processors
+// lose their w'/d share (Algorithm 5, lines 10–14).
+//
+// The arithmetic is performed in a canonical order — first remove every
+// configuration's share in task-edge order, then add the full weight of the
+// chosen hyperedge — so that the naive and the incremental implementations
+// produce bit-identical floating-point values and therefore identical
+// assignments even on ties.
+func commitExpected(h *hypergraph.Hypergraph, t int, chosen int32, o []float64) {
+	d := float64(h.TaskDegree(t))
+	for _, e := range h.TaskEdges(t) {
+		share := float64(h.Weight[e]) / d
+		for _, u := range h.EdgeProcs(e) {
+			o[u] -= share
+		}
+	}
+	w := float64(h.Weight[chosen])
+	for _, u := range h.EdgeProcs(chosen) {
+		o[u] += w
+	}
+}
+
+// VectorGreedyHyp (VGH, Sec. IV-D3) selects, for each task in degree order,
+// the hyperedge whose assignment yields the lexicographically smallest
+// descending load vector: smallest maximum load, ties by second-largest,
+// and so on.
+//
+// With opts.Naive the full vector is copied and sorted per candidate
+// (O(Σ_v d_v · p log p), the variant timed in the paper); otherwise the
+// sorted load list is maintained incrementally and candidates are compared
+// by lazy merge (O(Σ_v d_v · p) worst case, typically far less).
+func VectorGreedyHyp(h *hypergraph.Hypergraph, opts HyperOptions) HyperAssignment {
+	if opts.Naive {
+		return vectorGreedyNaive(h)
+	}
+	a := make(HyperAssignment, h.NTasks)
+	tr := loadvec.New[int64](h.NProcs)
+	for _, t := range hyperTaskOrder(h) {
+		edges := h.TaskEdges(int(t))
+		bestE := Unassigned
+		var bestCand loadvec.Candidate[int64]
+		for _, e := range edges {
+			cand := tr.AddCandidate(h.EdgeProcs(e), h.Weight[e])
+			if bestE == Unassigned || tr.Compare(cand, bestCand) < 0 {
+				bestE, bestCand = e, cand
+			}
+		}
+		a[t] = bestE
+		tr.Commit(bestCand)
+	}
+	return a
+}
+
+func vectorGreedyNaive(h *hypergraph.Hypergraph) HyperAssignment {
+	a := make(HyperAssignment, h.NTasks)
+	loads := make([]int64, h.NProcs)
+	tmp := make([]int64, h.NProcs)
+	for _, t := range hyperTaskOrder(h) {
+		bestE := Unassigned
+		var bestVec []int64
+		for _, e := range h.TaskEdges(int(t)) {
+			copy(tmp, loads)
+			w := h.Weight[e]
+			for _, u := range h.EdgeProcs(e) {
+				tmp[u] += w
+			}
+			vec := loadvec.SortedDesc(tmp)
+			if bestE == Unassigned || loadvec.CompareVec(vec, bestVec) < 0 {
+				bestE, bestVec = e, vec
+			}
+		}
+		a[t] = bestE
+		w := h.Weight[bestE]
+		for _, u := range h.EdgeProcs(bestE) {
+			loads[u] += w
+		}
+	}
+	return a
+}
+
+// ExpectedVectorGreedyHyp (EVG, Sec. IV-D4) combines the expected and
+// vector strategies: for each candidate hyperedge the task's whole
+// probability mass is tentatively collapsed onto it, and the resulting
+// expected-load vectors are compared lexicographically.
+func ExpectedVectorGreedyHyp(h *hypergraph.Hypergraph, opts HyperOptions) HyperAssignment {
+	if opts.Naive {
+		return expectedVectorNaive(h)
+	}
+	a := make(HyperAssignment, h.NTasks)
+	o := initExpected(h)
+	tr := loadvec.New[float64](h.NProcs)
+	procsAll := make([]int32, h.NProcs)
+	for i := range procsAll {
+		procsAll[i] = int32(i)
+	}
+	tr.SetAll(procsAll, o)
+
+	// Scratch buffers reused across tasks.
+	var union []int32
+	mark := make(map[int32]int) // proc → index in union
+	for _, t := range hyperTaskOrder(h) {
+		edges := h.TaskEdges(int(t))
+		d := float64(len(edges))
+		// Union of processors over all configurations of t.
+		union = union[:0]
+		clear(mark)
+		for _, e := range edges {
+			for _, u := range h.EdgeProcs(e) {
+				if _, ok := mark[u]; !ok {
+					mark[u] = len(union)
+					union = append(union, u)
+				}
+			}
+		}
+		// base = o restricted to the union, with all of t's shares removed
+		// (same operation order as commitExpected, for FP determinism).
+		base := make([]float64, len(union))
+		for i, u := range union {
+			base[i] = tr.Load(u)
+		}
+		for _, e := range edges {
+			share := float64(h.Weight[e]) / d
+			for _, u := range h.EdgeProcs(e) {
+				base[mark[u]] -= share
+			}
+		}
+		bestE := Unassigned
+		var bestCand loadvec.Candidate[float64]
+		vals := make([]float64, len(union))
+		for _, e := range edges {
+			copy(vals, base)
+			w := float64(h.Weight[e])
+			for _, u := range h.EdgeProcs(e) {
+				vals[mark[u]] += w
+			}
+			cand := tr.NewCandidate(union, vals)
+			if bestE == Unassigned || tr.Compare(cand, bestCand) < 0 {
+				bestE, bestCand = e, cand
+			}
+		}
+		a[t] = bestE
+		tr.Commit(bestCand)
+	}
+	return a
+}
+
+func expectedVectorNaive(h *hypergraph.Hypergraph) HyperAssignment {
+	a := make(HyperAssignment, h.NTasks)
+	o := initExpected(h)
+	tmp := make([]float64, h.NProcs)
+	for _, t := range hyperTaskOrder(h) {
+		edges := h.TaskEdges(int(t))
+		d := float64(len(edges))
+		bestE := Unassigned
+		var bestVec []float64
+		for _, e := range edges {
+			// Tentatively realize e: Algorithm 5's update applied to a
+			// copy, in the canonical operation order of commitExpected.
+			copy(tmp, o)
+			for _, e2 := range edges {
+				share := float64(h.Weight[e2]) / d
+				for _, u := range h.EdgeProcs(e2) {
+					tmp[u] -= share
+				}
+			}
+			w := float64(h.Weight[e])
+			for _, u := range h.EdgeProcs(e) {
+				tmp[u] += w
+			}
+			vec := loadvec.SortedDesc(tmp)
+			if bestE == Unassigned || loadvec.CompareVec(vec, bestVec) < 0 {
+				bestE, bestVec = e, vec
+			}
+		}
+		a[t] = bestE
+		commitExpected(h, int(t), bestE, o)
+	}
+	return a
+}

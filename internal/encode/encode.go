@@ -1,0 +1,243 @@
+// Package encode reads and writes semimatch instances in a simple,
+// line-oriented text format, so instances can be generated once, exchanged
+// and replayed (cmd/semigen writes them, cmd/semisolve reads them).
+//
+// Bipartite (SINGLEPROC) format:
+//
+//	bipartite <nTasks> <nProcs> <unit|weighted>
+//	<task> <proc> [<weight>]        # one line per edge
+//
+// Hypergraph (MULTIPROC) format:
+//
+//	hypergraph <nTasks> <nProcs> <nEdges>
+//	<task> <weight> <k> <p1> ... <pk>   # one line per hyperedge
+//
+// Lines starting with '#' and blank lines are ignored. All indices are
+// 0-based.
+package encode
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"semimatch/internal/bipartite"
+	"semimatch/internal/hypergraph"
+)
+
+// MaxDim caps declared task/processor/hyperedge counts when parsing, so a
+// tiny hostile header cannot demand a multi-gigabyte allocation (the
+// builders allocate O(n) from the header before seeing any edges). 2^26
+// vertices is far beyond the paper's grids yet bounds the up-front
+// allocation to a few hundred megabytes.
+const MaxDim = 1 << 26
+
+// WriteBipartite writes g in the bipartite text format.
+func WriteBipartite(w io.Writer, g *bipartite.Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "unit"
+	if !g.Unit() {
+		kind = "weighted"
+	}
+	fmt.Fprintf(bw, "bipartite %d %d %s\n", g.NLeft, g.NRight, kind)
+	for t := 0; t < g.NLeft; t++ {
+		row := g.Neighbors(t)
+		ws := g.Weights(t)
+		for i, p := range row {
+			if ws == nil {
+				fmt.Fprintf(bw, "%d %d\n", t, p)
+			} else {
+				fmt.Fprintf(bw, "%d %d %d\n", t, p, ws[i])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBipartite parses the bipartite text format.
+func ReadBipartite(r io.Reader) (*bipartite.Graph, error) {
+	sc := newScanner(r)
+	head, err := sc.header()
+	if err != nil {
+		return nil, err
+	}
+	if len(head) != 4 || head[0] != "bipartite" {
+		return nil, fmt.Errorf("encode: bad bipartite header %q", strings.Join(head, " "))
+	}
+	n, err1 := strconv.Atoi(head[1])
+	p, err2 := strconv.Atoi(head[2])
+	if err1 != nil || err2 != nil || n < 0 || p < 0 || n > MaxDim || p > MaxDim {
+		return nil, fmt.Errorf("encode: bad sizes in header (limit %d)", MaxDim)
+	}
+	weighted := head[3] == "weighted"
+	if !weighted && head[3] != "unit" {
+		return nil, fmt.Errorf("encode: bad kind %q", head[3])
+	}
+	b := bipartite.NewBuilder(n, p)
+	for {
+		fields, err := sc.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		wantFields := 2
+		if weighted {
+			wantFields = 3
+		}
+		if len(fields) != wantFields {
+			return nil, fmt.Errorf("encode: line %d: want %d fields, got %d", sc.lineNo, wantFields, len(fields))
+		}
+		t, err1 := strconv.Atoi(fields[0])
+		pr, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("encode: line %d: bad edge", sc.lineNo)
+		}
+		w := int64(1)
+		if weighted {
+			w, err = strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("encode: line %d: bad weight", sc.lineNo)
+			}
+		}
+		b.AddWeightedEdge(t, pr, w)
+	}
+	return b.Build()
+}
+
+// WriteHypergraph writes h in the hypergraph text format.
+func WriteHypergraph(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "hypergraph %d %d %d\n", h.NTasks, h.NProcs, h.NumEdges())
+	for t := 0; t < h.NTasks; t++ {
+		for _, e := range h.TaskEdges(t) {
+			procs := h.EdgeProcs(e)
+			fmt.Fprintf(bw, "%d %d %d", t, h.Weight[e], len(procs))
+			for _, u := range procs {
+				fmt.Fprintf(bw, " %d", u)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHypergraph parses the hypergraph text format.
+func ReadHypergraph(r io.Reader) (*hypergraph.Hypergraph, error) {
+	sc := newScanner(r)
+	head, err := sc.header()
+	if err != nil {
+		return nil, err
+	}
+	if len(head) != 4 || head[0] != "hypergraph" {
+		return nil, fmt.Errorf("encode: bad hypergraph header %q", strings.Join(head, " "))
+	}
+	n, err1 := strconv.Atoi(head[1])
+	p, err2 := strconv.Atoi(head[2])
+	m, err3 := strconv.Atoi(head[3])
+	if err1 != nil || err2 != nil || err3 != nil || n < 0 || p < 0 || m < 0 ||
+		n > MaxDim || p > MaxDim || m > MaxDim {
+		return nil, fmt.Errorf("encode: bad sizes in header (limit %d)", MaxDim)
+	}
+	b := hypergraph.NewBuilder(n, p)
+	edges := 0
+	for {
+		fields, err := sc.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("encode: line %d: truncated hyperedge", sc.lineNo)
+		}
+		t, err1 := strconv.Atoi(fields[0])
+		w, err2 := strconv.ParseInt(fields[1], 10, 64)
+		k, err3 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || err3 != nil || k < 0 {
+			return nil, fmt.Errorf("encode: line %d: bad hyperedge header", sc.lineNo)
+		}
+		if len(fields) != 3+k {
+			return nil, fmt.Errorf("encode: line %d: want %d processors, got %d", sc.lineNo, k, len(fields)-3)
+		}
+		procs := make([]int, k)
+		for i := 0; i < k; i++ {
+			procs[i], err = strconv.Atoi(fields[3+i])
+			if err != nil {
+				return nil, fmt.Errorf("encode: line %d: bad processor", sc.lineNo)
+			}
+		}
+		b.AddEdge(t, procs, w)
+		edges++
+	}
+	if edges != m {
+		return nil, fmt.Errorf("encode: header says %d hyperedges, file has %d", m, edges)
+	}
+	return b.Build()
+}
+
+// DetectKind peeks the first token of the stream: "bipartite" or
+// "hypergraph". The reader must be re-readable (use a buffered copy) —
+// callers typically read the whole file into memory first.
+func DetectKind(data []byte) (string, error) {
+	fields := strings.Fields(firstContentLine(string(data)))
+	if len(fields) == 0 {
+		return "", fmt.Errorf("encode: empty input")
+	}
+	switch fields[0] {
+	case "bipartite", "hypergraph":
+		return fields[0], nil
+	default:
+		return "", fmt.Errorf("encode: unknown format %q", fields[0])
+	}
+}
+
+func firstContentLine(s string) string {
+	for _, line := range strings.Split(s, "\n") {
+		t := strings.TrimSpace(line)
+		if t != "" && !strings.HasPrefix(t, "#") {
+			return t
+		}
+	}
+	return ""
+}
+
+// scanner yields whitespace-separated fields per content line, skipping
+// blanks and comments.
+type scanner struct {
+	sc     *bufio.Scanner
+	lineNo int
+}
+
+func newScanner(r io.Reader) *scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return &scanner{sc: sc}
+}
+
+func (s *scanner) next() ([]string, error) {
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strings.Fields(line), nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+func (s *scanner) header() ([]string, error) {
+	h, err := s.next()
+	if err == io.EOF {
+		return nil, fmt.Errorf("encode: empty input")
+	}
+	return h, err
+}

@@ -1,0 +1,283 @@
+// Package exact provides exact (exponential-time) solvers for small
+// instances of the NP-complete problems in the paper: weighted SINGLEPROC,
+// MULTIPROC (weighted or unit), and Exact Cover by 3-Sets. They serve as
+// ground truth for validating the heuristics and the Theorem 1 reduction,
+// and as the optimum column in small-instance experiments.
+//
+// The solvers are branch-and-bound searches with two prunes: the incumbent
+// bound (a greedy schedule initializes it) and an average-load lower bound
+// on the remaining work. They are exact whenever they return without
+// ErrLimit; instances beyond ~30 tasks should use the heuristics and the
+// LowerBound instead.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"semimatch/internal/adversarial"
+	"semimatch/internal/bipartite"
+	"semimatch/internal/core"
+	"semimatch/internal/hypergraph"
+)
+
+// ErrLimit reports that the node budget was exhausted before the search
+// completed; the result would not be provably optimal.
+var ErrLimit = errors.New("exact: node limit exceeded")
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes caps the number of search-tree nodes. 0 means the default
+	// (20 million), which solves typical 25-task instances in well under a
+	// second.
+	MaxNodes int64
+}
+
+func (o Options) maxNodes() int64 {
+	if o.MaxNodes <= 0 {
+		return 20_000_000
+	}
+	return o.MaxNodes
+}
+
+// SolveSingleProc computes an optimal SINGLEPROC schedule (weighted or
+// unit) by branch and bound. Tasks with empty eligibility sets yield an
+// error.
+func SolveSingleProc(g *bipartite.Graph, opts Options) (core.Assignment, int64, error) {
+	n, p := g.NLeft, g.NRight
+	if p == 0 && n > 0 {
+		return nil, 0, fmt.Errorf("exact: no processors")
+	}
+	for t := 0; t < n; t++ {
+		if g.Degree(t) == 0 {
+			return nil, 0, fmt.Errorf("exact: task %d has no eligible processor", t)
+		}
+	}
+	if n == 0 {
+		return core.Assignment{}, 0, nil
+	}
+
+	// Branch on tasks with fewest options first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return g.Degree(order[i]) < g.Degree(order[j]) })
+
+	// minCost[t] = cheapest edge weight of t; suffix sums bound remaining work.
+	suffix := make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		t := order[i]
+		w := g.Weights(t)
+		best := int64(1)
+		if w != nil {
+			best = w[0]
+			for _, x := range w[1:] {
+				if x < best {
+					best = x
+				}
+			}
+		}
+		suffix[i] = suffix[i+1] + best
+	}
+
+	// Incumbent from sorted-greedy.
+	inc := core.SortedGreedy(g, core.GreedyOptions{})
+	best := core.Makespan(g, inc)
+	bestA := append(core.Assignment(nil), inc...)
+
+	loads := make([]int64, p)
+	cur := append(core.Assignment(nil), inc...)
+	var total int64
+	nodes := opts.maxNodes()
+	var limitHit bool
+
+	var rec func(i int, curMax int64)
+	rec = func(i int, curMax int64) {
+		if limitHit {
+			return
+		}
+		nodes--
+		if nodes < 0 {
+			limitHit = true
+			return
+		}
+		if curMax >= best {
+			return
+		}
+		if i == n {
+			best = curMax
+			copy(bestA, cur)
+			return
+		}
+		// Remaining-work bound.
+		lb := (total + suffix[i] + int64(p) - 1) / int64(p)
+		if lb >= best {
+			return
+		}
+		t := order[i]
+		row := g.Neighbors(t)
+		w := g.Weights(t)
+		for k, proc := range row {
+			wt := int64(1)
+			if w != nil {
+				wt = w[k]
+			}
+			loads[proc] += wt
+			total += wt
+			nm := curMax
+			if loads[proc] > nm {
+				nm = loads[proc]
+			}
+			cur[t] = proc
+			rec(i+1, nm)
+			loads[proc] -= wt
+			total -= wt
+		}
+	}
+	rec(0, 0)
+	if limitHit {
+		return bestA, best, ErrLimit
+	}
+	return bestA, best, nil
+}
+
+// SolveMultiProc computes an optimal MULTIPROC schedule by branch and
+// bound.
+func SolveMultiProc(h *hypergraph.Hypergraph, opts Options) (core.HyperAssignment, int64, error) {
+	n, p := h.NTasks, h.NProcs
+	if n == 0 {
+		return core.HyperAssignment{}, 0, nil
+	}
+	if p == 0 {
+		return nil, 0, fmt.Errorf("exact: no processors")
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return h.TaskDegree(order[i]) < h.TaskDegree(order[j]) })
+
+	// suffix[i] = Σ over remaining tasks of their cheapest total cost
+	// (w_h·|h|), the quantity behind Eq. (1).
+	suffix := make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		t := order[i]
+		best := int64(-1)
+		for _, e := range h.TaskEdges(t) {
+			c := h.Weight[e] * int64(h.EdgeSize(e))
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		suffix[i] = suffix[i+1] + best
+	}
+
+	inc := core.SortedGreedyHyp(h, core.HyperOptions{})
+	best := core.HyperMakespan(h, inc)
+	bestA := append(core.HyperAssignment(nil), inc...)
+
+	loads := make([]int64, p)
+	cur := append(core.HyperAssignment(nil), inc...)
+	var total int64
+	nodes := opts.maxNodes()
+	var limitHit bool
+
+	var rec func(i int, curMax int64)
+	rec = func(i int, curMax int64) {
+		if limitHit {
+			return
+		}
+		nodes--
+		if nodes < 0 {
+			limitHit = true
+			return
+		}
+		if curMax >= best {
+			return
+		}
+		if i == n {
+			best = curMax
+			copy(bestA, cur)
+			return
+		}
+		lb := (total + suffix[i] + int64(p) - 1) / int64(p)
+		if lb >= best {
+			return
+		}
+		t := order[i]
+		for _, e := range h.TaskEdges(t) {
+			w := h.Weight[e]
+			procs := h.EdgeProcs(e)
+			nm := curMax
+			for _, u := range procs {
+				loads[u] += w
+				if loads[u] > nm {
+					nm = loads[u]
+				}
+			}
+			total += w * int64(len(procs))
+			cur[t] = e
+			rec(i+1, nm)
+			for _, u := range procs {
+				loads[u] -= w
+			}
+			total -= w * int64(len(procs))
+		}
+	}
+	rec(0, 0)
+	if limitHit {
+		return bestA, best, ErrLimit
+	}
+	return bestA, best, nil
+}
+
+// SolveX3C decides Exact Cover by 3-Sets by depth-first search over the
+// lowest-indexed uncovered element. It returns the indices of a cover and
+// true, or nil and false.
+func SolveX3C(x adversarial.X3C) ([]int, bool) {
+	if x.Validate() != nil {
+		return nil, false
+	}
+	nElem := 3 * x.Q
+	// setsWith[e] = sets containing element e.
+	setsWith := make([][]int, nElem)
+	for i, s := range x.Sets {
+		for _, e := range s {
+			setsWith[e] = append(setsWith[e], i)
+		}
+	}
+	covered := make([]bool, nElem)
+	var chosen []int
+	var rec func(covCount int) bool
+	rec = func(covCount int) bool {
+		if covCount == nElem {
+			return true
+		}
+		// First uncovered element.
+		e := 0
+		for covered[e] {
+			e++
+		}
+		for _, si := range setsWith[e] {
+			s := x.Sets[si]
+			if covered[s[0]] || covered[s[1]] || covered[s[2]] {
+				continue
+			}
+			covered[s[0]], covered[s[1]], covered[s[2]] = true, true, true
+			chosen = append(chosen, si)
+			if rec(covCount + 3) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+			covered[s[0]], covered[s[1]], covered[s[2]] = false, false, false
+		}
+		return false
+	}
+	if rec(0) {
+		return chosen, true
+	}
+	return nil, false
+}

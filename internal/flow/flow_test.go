@@ -1,0 +1,210 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"semimatch/internal/bipartite"
+	"semimatch/internal/core"
+	"semimatch/internal/gen"
+	"semimatch/internal/matching"
+)
+
+func TestMaxFlowTextbook(t *testing.T) {
+	// Classic 6-vertex example with max flow 23.
+	g := NewNetwork(6)
+	g.AddArc(0, 1, 16)
+	g.AddArc(0, 2, 13)
+	g.AddArc(1, 2, 10)
+	g.AddArc(2, 1, 4)
+	g.AddArc(1, 3, 12)
+	g.AddArc(3, 2, 9)
+	g.AddArc(2, 4, 14)
+	g.AddArc(4, 3, 7)
+	g.AddArc(3, 5, 20)
+	g.AddArc(4, 5, 4)
+	if f := g.MaxFlow(0, 5); f != 23 {
+		t.Fatalf("max flow = %d, want 23", f)
+	}
+}
+
+func TestMaxFlowTrivia(t *testing.T) {
+	g := NewNetwork(2)
+	if g.MaxFlow(0, 0) != 0 {
+		t.Fatal("s==t must be 0")
+	}
+	if g.MaxFlow(0, 1) != 0 {
+		t.Fatal("no arcs must be 0")
+	}
+	k := g.AddArc(0, 1, 5)
+	if g.MaxFlow(0, 1) != 5 {
+		t.Fatal("single arc")
+	}
+	if g.Flow(k) != 5 {
+		t.Fatalf("arc flow = %d", g.Flow(k))
+	}
+}
+
+func TestAddArcPanics(t *testing.T) {
+	g := NewNetwork(1)
+	for _, f := range []func(){
+		func() { g.AddArc(0, 5, 1) },
+		func() { g.AddArc(-1, 0, 1) },
+		func() { g.AddArc(0, 0, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFlowMatchingEqualsHopcroftKarp(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, p := 1+rng.Intn(30), 1+rng.Intn(15)
+		b := bipartite.NewBuilder(n, p)
+		for task := 0; task < n; task++ {
+			d := 1 + rng.Intn(4)
+			if d > p {
+				d = p
+			}
+			for _, v := range rng.Perm(p)[:d] {
+				b.AddEdge(task, v)
+			}
+		}
+		g := b.MustBuild()
+		net, s, t2, _ := MatchingNetwork(g, 1)
+		flowCard := net.MaxFlow(s, t2)
+		m := matching.HopcroftKarp(matching.Wrap(g.NLeft, g.NRight, g.Ptr, g.Adj))
+		return int(flowCard) == matching.Cardinality(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeasibleDeadline(t *testing.T) {
+	// 4 tasks on one processor: feasible iff d >= 4.
+	b := bipartite.NewBuilder(4, 1)
+	for task := 0; task < 4; task++ {
+		b.AddEdge(task, 0)
+	}
+	g := b.MustBuild()
+	if _, ok := FeasibleDeadline(g, 3); ok {
+		t.Fatal("d=3 must be infeasible")
+	}
+	a, ok := FeasibleDeadline(g, 4)
+	if !ok {
+		t.Fatal("d=4 must be feasible")
+	}
+	for task, p := range a {
+		if p != 0 {
+			t.Fatalf("task %d assigned %d", task, p)
+		}
+	}
+}
+
+func TestExactViaFlowMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n, p := 1+rng.Intn(60), 1+rng.Intn(12)
+		b := bipartite.NewBuilder(n, p)
+		for task := 0; task < n; task++ {
+			d := 1 + rng.Intn(4)
+			if d > p {
+				d = p
+			}
+			for _, v := range rng.Perm(p)[:d] {
+				b.AddEdge(task, v)
+			}
+		}
+		g := b.MustBuild()
+		a, d1, err := ExactUnitViaFlow(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.ValidateAssignment(g, core.Assignment(a)); err != nil {
+			t.Fatal(err)
+		}
+		if m := core.Makespan(g, core.Assignment(a)); m != d1 {
+			t.Fatalf("assignment makespan %d != reported %d", m, d1)
+		}
+		_, d2, err := core.ExactUnit(g, core.ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Fatalf("trial %d: flow %d vs matching %d", trial, d1, d2)
+		}
+	}
+}
+
+func TestExactViaFlowErrors(t *testing.T) {
+	g, err := bipartite.NewFromAdjacency(1, [][]int{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ExactUnitViaFlow(g); err == nil {
+		t.Fatal("isolated task accepted")
+	}
+	b := bipartite.NewBuilder(1, 1)
+	b.AddWeightedEdge(0, 0, 2)
+	if _, _, err := ExactUnitViaFlow(b.MustBuild()); err == nil {
+		t.Fatal("weighted accepted")
+	}
+	empty, _ := bipartite.NewFromAdjacency(0, nil)
+	if _, d, err := ExactUnitViaFlow(empty); err != nil || d != 0 {
+		t.Fatalf("empty: %d %v", d, err)
+	}
+}
+
+func TestExactViaFlowOnGeneratedInstances(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g, err := gen.Bipartite(gen.FewgManyg, 640, 64, 8, 5, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, d1, err := ExactUnitViaFlow(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, d2, err := core.ExactUnit(g, core.ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Fatalf("seed %d: flow %d vs matching %d", seed, d1, d2)
+		}
+	}
+}
+
+func BenchmarkExactViaFlow(b *testing.B) {
+	g, err := gen.Bipartite(gen.FewgManyg, 5120, 256, 32, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ExactUnitViaFlow(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxFlowMatching(b *testing.B) {
+	g, err := gen.Bipartite(gen.FewgManyg, 20480, 1024, 32, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, s, t, _ := MatchingNetwork(g, 20)
+		net.MaxFlow(s, t)
+	}
+}

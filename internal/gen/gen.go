@@ -1,0 +1,353 @@
+// Package gen implements the random instance generators of Sec. V-A of the
+// paper: the HiLo and FewgManyg bipartite graph generators of Cherkassky,
+// Goldberg, Martin, Setubal & Stolfi [7] (as adapted by the paper for
+// |V1| ≠ |V2|), the two-stage hypergraph generator built on top of them,
+// and the three hyperedge weight schemes (unit, related, random).
+//
+// All generation is deterministic given a seed. HiLo is itself
+// deterministic (its structure depends only on the parameters); the
+// paper's "10 random instances" vary through the random stages
+// (FewgManyg's degrees and neighbor choices, and the task-degree sampling
+// of the hypergraph generator).
+//
+// Where the original generator description leaves choices open, this
+// package documents its own:
+//
+//   - "sampling from a binomial distribution with mean d" is realized as
+//     Binomial(2d, 1/2), clamped to ≥ 1 so that every vertex keeps at
+//     least one option (an instance with an impossible task is
+//     uninteresting for makespan minimization);
+//   - groups divide vertices as evenly as possible when the count is not a
+//     multiple of g (sizes differ by at most one);
+//   - FewgManyg draws with replacement when the requested degree exceeds
+//     the 3-group candidate pool, then deduplicates (simple graphs).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semimatch/internal/bipartite"
+	"semimatch/internal/hypergraph"
+)
+
+// Generator selects the structure generator.
+type Generator int
+
+const (
+	// HiLo: vertex x^j_i connects to y^j_k (and y^{j+1}_k when j < g) for
+	// k = max(1, min(i, sz)-d) .. min(i, sz) — a banded, deterministic
+	// family with strong structure.
+	HiLo Generator = iota
+	// FewgManyg: each left vertex draws a binomial number of random
+	// neighbors from the three adjacent right groups (wrap-around).
+	FewgManyg
+)
+
+// String returns the generator's conventional name.
+func (g Generator) String() string {
+	switch g {
+	case HiLo:
+		return "HiLo"
+	case FewgManyg:
+		return "FewgManyg"
+	default:
+		return fmt.Sprintf("Generator(%d)", int(g))
+	}
+}
+
+// WeightScheme selects hyperedge weights (Sec. V-A2).
+type WeightScheme int
+
+const (
+	// Unit: w_h = 1 (MULTIPROC-UNIT).
+	Unit WeightScheme = iota
+	// Related: w_h = ⌈min_s · max_s / s_h⌉ where s_h = |h∩V2| — more
+	// processors means proportionally less time per processor.
+	Related
+	// Random: w_h uniform in [1, MaxW].
+	Random
+)
+
+// String returns the scheme's conventional name.
+func (w WeightScheme) String() string {
+	switch w {
+	case Unit:
+		return "unit"
+	case Related:
+		return "related"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("WeightScheme(%d)", int(w))
+	}
+}
+
+// Binomial samples Binomial(n, 1/2) using n fair coin flips; its mean is
+// n/2 (so Binomial(2d) has mean d, the paper's "binomial distribution with
+// mean d").
+func Binomial(rng *rand.Rand, n int) int {
+	k := 0
+	// Flip 63 coins at a time.
+	for n >= 63 {
+		bits := rng.Int63()
+		for b := 0; b < 63; b++ {
+			k += int(bits & 1)
+			bits >>= 1
+		}
+		n -= 63
+	}
+	if n > 0 {
+		bits := rng.Int63()
+		for b := 0; b < n; b++ {
+			k += int(bits & 1)
+			bits >>= 1
+		}
+	}
+	return k
+}
+
+// groups splits n vertices into g groups as evenly as possible and returns
+// the start offset of each group (len g+1). Groups differ in size by at
+// most one; the first n%g groups take the extra vertex.
+func groups(n, g int) []int {
+	off := make([]int, g+1)
+	base, extra := n/g, n%g
+	for j := 0; j < g; j++ {
+		sz := base
+		if j < extra {
+			sz++
+		}
+		off[j+1] = off[j] + sz
+	}
+	return off
+}
+
+// hiLoRows builds the HiLo adjacency: row for each of the m left vertices
+// over p right vertices in g groups with band parameter d. Deterministic.
+func hiLoRows(m, p, g, d int) ([][]int32, error) {
+	if g < 1 {
+		return nil, fmt.Errorf("gen: g must be >= 1, got %d", g)
+	}
+	if p < g {
+		return nil, fmt.Errorf("gen: HiLo needs p >= g (got p=%d, g=%d)", p, g)
+	}
+	offL := groups(m, g)
+	offR := groups(p, g)
+	rows := make([][]int32, m)
+	for j := 0; j < g; j++ {
+		szR := offR[j+1] - offR[j]
+		var szR2, baseR2 int
+		if j+1 < g {
+			szR2 = offR[j+2] - offR[j+1]
+			baseR2 = offR[j+1]
+		}
+		for x := offL[j]; x < offL[j+1]; x++ {
+			i := x - offL[j] + 1 // 1-based index within the group
+			kmax := i
+			if kmax > szR {
+				kmax = szR
+			}
+			kmin := kmax - d
+			if kmin < 1 {
+				kmin = 1
+			}
+			for k := kmin; k <= kmax; k++ {
+				rows[x] = append(rows[x], int32(offR[j]+k-1))
+			}
+			if j+1 < g {
+				kmax2 := i
+				if kmax2 > szR2 {
+					kmax2 = szR2
+				}
+				kmin2 := kmax2 - d
+				if kmin2 < 1 {
+					kmin2 = 1
+				}
+				for k := kmin2; k <= kmax2; k++ {
+					rows[x] = append(rows[x], int32(baseR2+k-1))
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// fewgManygRows builds the FewgManyg adjacency: left vertex in group j
+// draws Binomial(2d)∨1 neighbors from right groups j-1, j, j+1 (wrapping).
+func fewgManygRows(rng *rand.Rand, m, p, g, d int) ([][]int32, error) {
+	if g < 1 {
+		return nil, fmt.Errorf("gen: g must be >= 1, got %d", g)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("gen: p must be >= 1, got %d", p)
+	}
+	offL := groups(m, g)
+	offR := groups(p, g)
+	rows := make([][]int32, m)
+	var pool []int32
+	seen := make(map[int32]bool)
+	for j := 0; j < g; j++ {
+		// Candidate pool: groups j-1, j, j+1 with wrap-around; distinct
+		// groups only (g < 3 collapses them).
+		pool = pool[:0]
+		used := map[int]bool{}
+		for _, dj := range []int{-1, 0, 1} {
+			gj := ((j+dj)%g + g) % g
+			if used[gj] {
+				continue
+			}
+			used[gj] = true
+			for v := offR[gj]; v < offR[gj+1]; v++ {
+				pool = append(pool, int32(v))
+			}
+		}
+		for x := offL[j]; x < offL[j+1]; x++ {
+			di := Binomial(rng, 2*d)
+			if di < 1 {
+				di = 1
+			}
+			clear(seen)
+			if di <= len(pool) {
+				// Without replacement: partial Fisher–Yates over a copy.
+				tmp := append([]int32(nil), pool...)
+				for i := 0; i < di; i++ {
+					r := i + rng.Intn(len(tmp)-i)
+					tmp[i], tmp[r] = tmp[r], tmp[i]
+					rows[x] = append(rows[x], tmp[i])
+				}
+			} else {
+				// With replacement, deduplicated.
+				for i := 0; i < di; i++ {
+					v := pool[rng.Intn(len(pool))]
+					if !seen[v] {
+						seen[v] = true
+						rows[x] = append(rows[x], v)
+					}
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Bipartite generates a SINGLEPROC(-UNIT) instance with n tasks, p
+// processors, g groups and degree parameter d. The seed is ignored by HiLo
+// (deterministic family).
+func Bipartite(generator Generator, n, p, g, d int, seed int64) (*bipartite.Graph, error) {
+	if n < 0 || p < 1 || d < 1 {
+		return nil, fmt.Errorf("gen: invalid parameters n=%d p=%d d=%d", n, p, d)
+	}
+	var rows [][]int32
+	var err error
+	switch generator {
+	case HiLo:
+		rows, err = hiLoRows(n, p, g, d)
+	case FewgManyg:
+		rows, err = fewgManygRows(rand.New(rand.NewSource(seed)), n, p, g, d)
+	default:
+		return nil, fmt.Errorf("gen: unknown generator %d", generator)
+	}
+	if err != nil {
+		return nil, err
+	}
+	b := bipartite.NewBuilder(n, p)
+	for u, row := range rows {
+		for _, v := range row {
+			b.AddEdge(u, int(v))
+		}
+	}
+	return b.Build()
+}
+
+// HyperParams parameterizes the two-stage hypergraph generator of
+// Sec. V-A2.
+type HyperParams struct {
+	Gen     Generator    // structure generator for the hyperedge→processor stage
+	N       int          // number of tasks |V1|
+	P       int          // number of processors |V2|
+	Dv      int          // mean number of configurations per task
+	Dh      int          // degree parameter for processors per hyperedge
+	G       int          // number of groups
+	Weights WeightScheme // hyperedge weight scheme
+	MaxW    int64        // maximum weight for the Random scheme (default 100)
+}
+
+// Hypergraph generates a MULTIPROC instance: first the number of
+// configurations of each task is sampled (Binomial(2·Dv)∨1), then the
+// resulting |N| hyperedges receive their processor sets from the selected
+// bipartite generator with parameters (|N|, P, G, Dh), and finally weights
+// are assigned per the scheme.
+func Hypergraph(p HyperParams, seed int64) (*hypergraph.Hypergraph, error) {
+	if p.N < 1 || p.P < 1 || p.Dv < 1 || p.Dh < 1 || p.G < 1 {
+		return nil, fmt.Errorf("gen: invalid hypergraph parameters %+v", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Stage 1: task degrees.
+	deg := make([]int, p.N)
+	m := 0
+	for t := range deg {
+		d := Binomial(rng, 2*p.Dv)
+		if d < 1 {
+			d = 1
+		}
+		deg[t] = d
+		m += d
+	}
+	// Stage 2: processor sets for the m hyperedges.
+	var rows [][]int32
+	var err error
+	switch p.Gen {
+	case HiLo:
+		rows, err = hiLoRows(m, p.P, p.G, p.Dh)
+	case FewgManyg:
+		rows, err = fewgManygRows(rng, m, p.P, p.G, p.Dh)
+	default:
+		return nil, fmt.Errorf("gen: unknown generator %d", p.Gen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Weights.
+	weights := make([]int64, m)
+	switch p.Weights {
+	case Unit:
+		for e := range weights {
+			weights[e] = 1
+		}
+	case Related:
+		minS, maxS := len(rows[0]), len(rows[0])
+		for _, r := range rows {
+			if len(r) < minS {
+				minS = len(r)
+			}
+			if len(r) > maxS {
+				maxS = len(r)
+			}
+		}
+		for e, r := range rows {
+			s := int64(len(r))
+			weights[e] = (int64(minS)*int64(maxS) + s - 1) / s // ceil
+		}
+	case Random:
+		maxW := p.MaxW
+		if maxW <= 0 {
+			maxW = 100
+		}
+		for e := range weights {
+			weights[e] = 1 + rng.Int63n(maxW)
+		}
+	default:
+		return nil, fmt.Errorf("gen: unknown weight scheme %d", p.Weights)
+	}
+	// Assemble: hyperedge e belongs to the task whose degree range covers e.
+	b := hypergraph.NewBuilder(p.N, p.P)
+	e := 0
+	for t := 0; t < p.N; t++ {
+		for j := 0; j < deg[t]; j++ {
+			b.AddEdge32(int32(t), rows[e], weights[e])
+			e++
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,313 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// fig2 builds the hypergraph of Fig. 2 in the paper:
+//
+//	T1: {P1} or {P2,P3};  T2: {P1,P2} or {P2,P3};  T3: {P3};  T4: {P3}.
+//
+// (0-based here.)
+func fig2(t *testing.T) *Hypergraph {
+	t.Helper()
+	b := NewBuilder(4, 3)
+	b.AddEdge(0, []int{0}, 1)
+	b.AddEdge(0, []int{1, 2}, 1)
+	b.AddEdge(1, []int{0, 1}, 1)
+	b.AddEdge(1, []int{1, 2}, 1)
+	b.AddEdge(2, []int{2}, 1)
+	b.AddEdge(3, []int{2}, 1)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return h
+}
+
+func TestFig2Structure(t *testing.T) {
+	h := fig2(t)
+	if h.NTasks != 4 || h.NProcs != 3 || h.NumEdges() != 6 || h.NumPins() != 9 {
+		t.Fatalf("sizes wrong: %+v", ComputeStats(h))
+	}
+	if !h.Unit() {
+		t.Fatal("Fig. 2 instance is unit-weighted")
+	}
+	if h.TaskDegree(0) != 2 || h.TaskDegree(2) != 1 {
+		t.Fatalf("task degrees wrong")
+	}
+	e := h.TaskEdges(0)
+	if len(e) != 2 {
+		t.Fatalf("task 0 edges = %v", e)
+	}
+	if got := h.EdgeProcs(e[1]); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Fatalf("EdgeProcs = %v", got)
+	}
+	for _, eid := range h.TaskEdges(3) {
+		if h.Owner[eid] != 3 {
+			t.Fatalf("Owner[%d] = %d", eid, h.Owner[eid])
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderInsertionOrderAcrossTasks(t *testing.T) {
+	// Interleave tasks: builder must group per task preserving order.
+	b := NewBuilder(2, 4)
+	b.AddEdge(1, []int{0}, 1)
+	b.AddEdge(0, []int{1}, 1)
+	b.AddEdge(1, []int{2}, 1)
+	b.AddEdge(0, []int{3}, 1)
+	h := b.MustBuild()
+	if got := h.EdgeProcs(h.TaskEdges(0)[0])[0]; got != 1 {
+		t.Fatalf("task 0 first config proc = %d, want 1", got)
+	}
+	if got := h.EdgeProcs(h.TaskEdges(0)[1])[0]; got != 3 {
+		t.Fatalf("task 0 second config proc = %d, want 3", got)
+	}
+	if got := h.EdgeProcs(h.TaskEdges(1)[0])[0]; got != 0 {
+		t.Fatalf("task 1 first config proc = %d, want 0", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() *Builder
+	}{
+		{"task out of range", func() *Builder {
+			b := NewBuilder(1, 1)
+			b.AddEdge(3, []int{0}, 1)
+			return b
+		}},
+		{"proc out of range", func() *Builder {
+			b := NewBuilder(1, 1)
+			b.AddEdge(0, []int{5}, 1)
+			return b
+		}},
+		{"task without config", func() *Builder {
+			b := NewBuilder(2, 1)
+			b.AddEdge(0, []int{0}, 1)
+			return b
+		}},
+		{"empty processor set", func() *Builder {
+			b := NewBuilder(1, 1)
+			b.AddEdge(0, nil, 1)
+			return b
+		}},
+		{"duplicate processor in config", func() *Builder {
+			b := NewBuilder(1, 2)
+			b.AddEdge(0, []int{1, 1}, 1)
+			return b
+		}},
+		{"non-positive weight", func() *Builder {
+			b := NewBuilder(1, 1)
+			b.AddEdge(0, []int{0}, 0)
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.f().Build(); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestWeightsAndUnitFlag(t *testing.T) {
+	b := NewBuilder(1, 2)
+	b.AddEdge(0, []int{0}, 4)
+	b.AddEdge(0, []int{0, 1}, 2)
+	h := b.MustBuild()
+	if h.Unit() {
+		t.Fatal("expected weighted")
+	}
+	mn, mx := h.MinMaxEdgeSize()
+	if mn != 1 || mx != 2 {
+		t.Fatalf("MinMaxEdgeSize = %d,%d", mn, mx)
+	}
+}
+
+func TestWithWeights(t *testing.T) {
+	h := fig2(t)
+	w := []int64{2, 1, 3, 1, 1, 5}
+	h2, err := h.WithWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Unit() {
+		t.Fatal("h2 should be weighted")
+	}
+	if h.Weight[0] != 1 {
+		t.Fatal("WithWeights mutated the original")
+	}
+	if err := h2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WithWeights([]int64{1}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := h.WithWeights([]int64{1, 1, 1, 1, 1, -2}); err == nil {
+		t.Fatal("expected positivity error")
+	}
+	// All-ones restores unit flag.
+	h3, err := h2.WithWeights([]int64{1, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h3.Unit() {
+		t.Fatal("all-ones weights must be unit")
+	}
+}
+
+func TestPinsSorted(t *testing.T) {
+	b := NewBuilder(1, 5)
+	b.AddEdge(0, []int{4, 0, 2}, 1)
+	h := b.MustBuild()
+	if got := h.EdgeProcs(0); !reflect.DeepEqual(got, []int32{0, 2, 4}) {
+		t.Fatalf("pins = %v, want sorted", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h := fig2(t)
+	c := h.Clone()
+	c.Weight[0] = 42
+	c.Pins[0] = 2
+	if h.Weight[0] != 1 || h.Pins[0] == 2 && h.Pins[0] != c.Pins[0] {
+		t.Fatal("Clone shares storage")
+	}
+	if h.Weight[0] == 42 {
+		t.Fatal("Clone shares Weight storage")
+	}
+}
+
+func TestToBipartite(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.AddEdge(0, []int{0}, 2)
+	b.AddEdge(0, []int{2}, 1)
+	b.AddEdge(1, []int{1}, 3)
+	h := b.MustBuild()
+	nT, nP, edges, err := h.ToBipartite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nT != 2 || nP != 3 || len(edges) != 3 {
+		t.Fatalf("projection wrong: %d %d %v", nT, nP, edges)
+	}
+	if edges[0] != [3]int64{0, 0, 2} {
+		t.Fatalf("edge 0 = %v", edges[0])
+	}
+
+	if _, _, _, err := fig2(t).ToBipartite(); err == nil {
+		t.Fatal("Fig. 2 has multi-processor hyperedges; projection must fail")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	h := fig2(t)
+	s := ComputeStats(h)
+	if s.NumEdges != 6 || s.NumPins != 9 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MinTaskDeg != 1 || s.MaxTaskDeg != 2 || s.SingleConfigured != 2 {
+		t.Fatalf("degree stats = %+v", s)
+	}
+	if s.MinEdgeSize != 1 || s.MaxEdgeSize != 2 {
+		t.Fatalf("edge size stats = %+v", s)
+	}
+	if s.MinWeight != 1 || s.MaxWeight != 1 {
+		t.Fatalf("weight stats = %+v", s)
+	}
+}
+
+// randomHypergraph builds a random valid instance; exported to sibling
+// packages' tests via this helper pattern (duplicated where needed).
+func randomHypergraph(rng *rand.Rand, nTasks, nProcs, maxDeg, maxSize int, maxW int64) *Hypergraph {
+	b := NewBuilder(nTasks, nProcs)
+	for t := 0; t < nTasks; t++ {
+		d := 1 + rng.Intn(maxDeg)
+		for j := 0; j < d; j++ {
+			size := 1 + rng.Intn(maxSize)
+			if size > nProcs {
+				size = nProcs
+			}
+			procs := rng.Perm(nProcs)[:size]
+			b.AddEdge(t, procs, 1+rng.Int63n(maxW))
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestRandomInstancesValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHypergraph(rng, 1+rng.Intn(20), 1+rng.Intn(10), 4, 5, 9)
+		if h.Validate() != nil {
+			return false
+		}
+		// Owner/TaskEdges bijection: every edge appears exactly once.
+		seen := make([]bool, h.NumEdges())
+		for task := 0; task < h.NTasks; task++ {
+			for _, e := range h.TaskEdges(task) {
+				if seen[e] {
+					return false
+				}
+				seen[e] = true
+			}
+		}
+		for _, ok := range seen {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxEdgeSizeEmpty(t *testing.T) {
+	h := &Hypergraph{NTasks: 0, NProcs: 0, TaskPtr: []int32{0}, PinPtr: []int32{0}, unit: true}
+	mn, mx := h.MinMaxEdgeSize()
+	if mn != 0 || mx != 0 {
+		t.Fatalf("empty MinMax = %d,%d", mn, mx)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const nTasks, nProcs = 5000, 256
+	type cfg struct {
+		t     int
+		procs []int
+	}
+	var cfgs []cfg
+	for t := 0; t < nTasks; t++ {
+		d := 1 + rng.Intn(5)
+		for j := 0; j < d; j++ {
+			size := 1 + rng.Intn(10)
+			cfgs = append(cfgs, cfg{t, rng.Perm(nProcs)[:size]})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl := NewBuilder(nTasks, nProcs)
+		for _, c := range cfgs {
+			bl.AddEdge(c.t, c.procs, 1)
+		}
+		if _, err := bl.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package loadvec maintains processor load vectors sorted in descending
+// order and compares hypothetical updates lexicographically. It is the
+// machinery behind the vector-greedy heuristics of Sec. IV-D3/D4 of the
+// paper: "among the hyperedges, choose the ones that yield the smallest
+// largest load; among the alternatives choose the ones that yield the
+// smallest second largest load and so on".
+//
+// The paper describes (but did not implement) an improved variant that
+// keeps the current load vector sorted as a list and obtains a candidate's
+// sorted vector by merging the few modified positions. Tracker implements
+// exactly that: comparing a candidate costs O(position of first difference
+// + k log k) where k is the number of modified processors, instead of
+// O(p log p) for the naive copy-and-sort.
+//
+// The tracker is generic over int64 (actual loads, VGH) and float64
+// (expected loads o(u), EVG).
+package loadvec
+
+import (
+	"sort"
+)
+
+// Value is the constraint for load types: integral loads for the plain
+// heuristics, floating point for expected loads.
+type Value interface {
+	~int64 | ~float64
+}
+
+// SortedDesc returns a copy of loads sorted in descending order — the naive
+// building block (used by the reference implementations and for testing the
+// incremental path).
+func SortedDesc[T Value](loads []T) []T {
+	s := append([]T(nil), loads...)
+	sort.Slice(s, func(i, j int) bool { return s[i] > s[j] })
+	return s
+}
+
+// CompareVec lexicographically compares two equal-length descending vectors:
+// -1 if a < b (a is the better/smaller load profile), 0 if equal, +1 if a > b.
+func CompareVec[T Value](a, b []T) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Tracker maintains per-processor loads plus the same multiset sorted
+// descending, with batch updates and candidate comparison.
+type Tracker[T Value] struct {
+	loads   []T // by processor index
+	sorted  []T // descending multiset of loads
+	scratch []T
+}
+
+// New returns a tracker for p processors, all loads zero.
+func New[T Value](p int) *Tracker[T] {
+	return &Tracker[T]{
+		loads:   make([]T, p),
+		sorted:  make([]T, p),
+		scratch: make([]T, p),
+	}
+}
+
+// Len returns the number of processors.
+func (t *Tracker[T]) Len() int { return len(t.loads) }
+
+// Load returns the current load of processor u.
+func (t *Tracker[T]) Load(u int32) T { return t.loads[u] }
+
+// Loads returns the internal per-processor load slice (do not modify).
+func (t *Tracker[T]) Loads() []T { return t.loads }
+
+// Max returns the current maximum load (0 for p = 0).
+func (t *Tracker[T]) Max() T {
+	if len(t.sorted) == 0 {
+		var zero T
+		return zero
+	}
+	return t.sorted[0]
+}
+
+// Sorted returns the internal descending sorted loads (do not modify).
+func (t *Tracker[T]) Sorted() []T { return t.sorted }
+
+// AddAll adds delta[i] to processor procs[i] and resorts incrementally.
+// procs must not contain duplicates.
+func (t *Tracker[T]) AddAll(procs []int32, delta T) {
+	newVals := make([]T, len(procs))
+	for i, u := range procs {
+		newVals[i] = t.loads[u] + delta
+	}
+	t.SetAll(procs, newVals)
+}
+
+// SetAll sets loads[procs[i]] = newVals[i] and resorts incrementally in
+// O(p + k log k). procs must not contain duplicates.
+func (t *Tracker[T]) SetAll(procs []int32, newVals []T) {
+	k := len(procs)
+	if k == 0 {
+		return
+	}
+	skip := make([]T, k)
+	add := make([]T, k)
+	for i, u := range procs {
+		skip[i] = t.loads[u]
+		add[i] = newVals[i]
+		t.loads[u] = newVals[i]
+	}
+	sortDesc(skip)
+	sortDesc(add)
+	it := mergeIter[T]{base: t.sorted, skip: skip, add: add}
+	out := t.scratch[:0]
+	for {
+		v, ok := it.next()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	t.scratch = t.sorted[:0]
+	t.sorted = out
+}
+
+// Rebuild recomputes the sorted vector from scratch; primarily for tests
+// and for callers that mutate Loads() directly (they should not).
+func (t *Tracker[T]) Rebuild() {
+	if cap(t.sorted) < len(t.loads) {
+		t.sorted = make([]T, len(t.loads))
+	}
+	t.sorted = t.sorted[:len(t.loads)]
+	copy(t.sorted, t.loads)
+	sortDesc(t.sorted)
+}
+
+// Candidate is a hypothetical batch update against a Tracker: processor
+// procs[i] would take value newVals[i]. Build with NewCandidate so the
+// internal sorted views are consistent with the tracker's current state.
+type Candidate[T Value] struct {
+	procs     []int32
+	newVals   []T
+	sortedOld []T // descending, current values of procs
+	sortedNew []T // descending, hypothetical values of procs
+}
+
+// NewCandidate captures a hypothetical update. procs must not contain
+// duplicates; procs and newVals are copied.
+func (t *Tracker[T]) NewCandidate(procs []int32, newVals []T) Candidate[T] {
+	c := Candidate[T]{
+		procs:     append([]int32(nil), procs...),
+		newVals:   append([]T(nil), newVals...),
+		sortedOld: make([]T, len(procs)),
+		sortedNew: append([]T(nil), newVals...),
+	}
+	for i, u := range procs {
+		c.sortedOld[i] = t.loads[u]
+	}
+	sortDesc(c.sortedOld)
+	sortDesc(c.sortedNew)
+	return c
+}
+
+// AddCandidate captures the hypothetical update "add delta to every
+// processor in procs".
+func (t *Tracker[T]) AddCandidate(procs []int32, delta T) Candidate[T] {
+	newVals := make([]T, len(procs))
+	for i, u := range procs {
+		newVals[i] = t.loads[u] + delta
+	}
+	return t.NewCandidate(procs, newVals)
+}
+
+// MaxAfter returns the maximum load the tracker would have after applying c.
+func (t *Tracker[T]) MaxAfter(c Candidate[T]) T {
+	it := mergeIter[T]{base: t.sorted, skip: c.sortedOld, add: c.sortedNew}
+	v, ok := it.next()
+	if !ok {
+		var zero T
+		return zero
+	}
+	return v
+}
+
+// Compare lexicographically compares the descending load vectors that would
+// result from applying candidates a and b: -1 if a yields the smaller
+// (better) vector, 0 if identical, +1 otherwise. It walks the two merged
+// views in lockstep and stops at the first difference.
+func (t *Tracker[T]) Compare(a, b Candidate[T]) int {
+	ia := mergeIter[T]{base: t.sorted, skip: a.sortedOld, add: a.sortedNew}
+	ib := mergeIter[T]{base: t.sorted, skip: b.sortedOld, add: b.sortedNew}
+	for {
+		va, oka := ia.next()
+		vb, okb := ib.next()
+		if !oka || !okb {
+			switch {
+			case oka == okb:
+				return 0
+			case okb:
+				return -1 // a shorter: impossible for same tracker, defensive
+			default:
+				return 1
+			}
+		}
+		switch {
+		case va < vb:
+			return -1
+		case va > vb:
+			return 1
+		}
+	}
+}
+
+// Commit applies candidate c to the tracker.
+func (t *Tracker[T]) Commit(c Candidate[T]) {
+	t.SetAll(c.procs, c.newVals)
+}
+
+// ResultVec materializes the full descending vector that would result from
+// applying c; exported for tests and the naive reference implementations.
+func (t *Tracker[T]) ResultVec(c Candidate[T]) []T {
+	out := make([]T, 0, len(t.sorted))
+	it := mergeIter[T]{base: t.sorted, skip: c.sortedOld, add: c.sortedNew}
+	for {
+		v, ok := it.next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// mergeIter yields, in descending order, the multiset
+// (base \ skip) ∪ add, where base, skip and add are descending and skip is
+// a sub-multiset of base. Each skip value cancels exactly one equal base
+// occurrence; because equal values are interchangeable in a multiset,
+// cancelling the first encountered occurrence is correct.
+type mergeIter[T Value] struct {
+	base, skip, add []T
+	bi, si, ai      int
+}
+
+func (it *mergeIter[T]) next() (T, bool) {
+	// Advance base past cancelled entries.
+	for it.bi < len(it.base) && it.si < len(it.skip) && it.base[it.bi] == it.skip[it.si] {
+		it.bi++
+		it.si++
+	}
+	hasBase := it.bi < len(it.base)
+	hasAdd := it.ai < len(it.add)
+	switch {
+	case hasBase && hasAdd:
+		if it.add[it.ai] >= it.base[it.bi] {
+			v := it.add[it.ai]
+			it.ai++
+			return v, true
+		}
+		v := it.base[it.bi]
+		it.bi++
+		return v, true
+	case hasBase:
+		v := it.base[it.bi]
+		it.bi++
+		return v, true
+	case hasAdd:
+		v := it.add[it.ai]
+		it.ai++
+		return v, true
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+func sortDesc[T Value](s []T) {
+	sort.Slice(s, func(i, j int) bool { return s[i] > s[j] })
+}

@@ -1,0 +1,123 @@
+// Package portfolio runs several MULTIPROC heuristics concurrently and
+// returns the best schedule found. Since no single greedy dominates — the
+// paper's evaluation shows VGH winning on unweighted FewgManyg instances
+// but EVG on weighted ones, with ties on HiLo — a portfolio is the
+// practical "just give me a good schedule" entry point, and the goroutine
+// fan-out uses the cores a single greedy leaves idle.
+//
+// Optionally every candidate is post-processed with local search
+// (refine.Refine) before judging, which only ever improves results.
+package portfolio
+
+import (
+	"runtime"
+	"sync"
+
+	"semimatch/internal/core"
+	"semimatch/internal/hypergraph"
+	"semimatch/internal/loadvec"
+	"semimatch/internal/refine"
+)
+
+// Options configures a portfolio run.
+type Options struct {
+	// Algorithms restricts the portfolio; nil means all four heuristics.
+	Algorithms []string
+	// Refine post-processes every candidate with local search.
+	Refine bool
+	// Workers bounds concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultAlgorithms is the full portfolio in deterministic tie-break
+// order: when two members produce equally good schedules the earlier name
+// wins, so results are reproducible regardless of goroutine timing.
+var DefaultAlgorithms = []string{"SGH", "VGH", "EGH", "EVG"}
+
+// Result is the winning schedule and the league table.
+type Result struct {
+	Assignment core.HyperAssignment
+	Winner     string
+	Makespan   int64
+	// Makespans per portfolio member (after refinement if enabled).
+	Makespans map[string]int64
+}
+
+func run(name string, h *hypergraph.Hypergraph) core.HyperAssignment {
+	switch name {
+	case "SGH":
+		return core.SortedGreedyHyp(h, core.HyperOptions{})
+	case "VGH":
+		return core.VectorGreedyHyp(h, core.HyperOptions{})
+	case "EGH":
+		return core.ExpectedGreedyHyp(h, core.HyperOptions{})
+	case "EVG":
+		return core.ExpectedVectorGreedyHyp(h, core.HyperOptions{})
+	default:
+		panic("portfolio: unknown algorithm " + name)
+	}
+}
+
+// Solve runs the portfolio on h and returns the best schedule. Ties are
+// broken lexicographically by full descending load vector first (a
+// schedule with the same makespan but better-balanced tail wins), then by
+// portfolio order.
+func Solve(h *hypergraph.Hypergraph, opts Options) Result {
+	algs := opts.Algorithms
+	if len(algs) == 0 {
+		algs = DefaultAlgorithms
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(algs) {
+		workers = len(algs)
+	}
+
+	type cand struct {
+		name string
+		a    core.HyperAssignment
+		vec  []int64
+		m    int64
+	}
+	cands := make([]cand, len(algs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, name := range algs {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			a := run(name, h)
+			if opts.Refine {
+				a = refine.Refine(h, a, refine.Options{}).Assignment
+			}
+			vec := loadvec.SortedDesc(core.HyperLoads(h, a))
+			m := int64(0)
+			if len(vec) > 0 {
+				m = vec[0]
+			}
+			cands[i] = cand{name: name, a: a, vec: vec, m: m}
+		}(i, name)
+	}
+	wg.Wait()
+
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if loadvec.CompareVec(cands[i].vec, cands[best].vec) < 0 {
+			best = i
+		}
+	}
+	res := Result{
+		Assignment: cands[best].a,
+		Winner:     cands[best].name,
+		Makespan:   cands[best].m,
+		Makespans:  make(map[string]int64, len(cands)),
+	}
+	for _, c := range cands {
+		res.Makespans[c.name] = c.m
+	}
+	return res
+}

@@ -1,0 +1,113 @@
+package portfolio
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"semimatch/internal/core"
+	"semimatch/internal/hypergraph"
+)
+
+func randomHyper(rng *rand.Rand, nTasks, nProcs, maxDeg, maxSize int, maxW int64) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(nTasks, nProcs)
+	for t := 0; t < nTasks; t++ {
+		d := 1 + rng.Intn(maxDeg)
+		for j := 0; j < d; j++ {
+			size := 1 + rng.Intn(maxSize)
+			if size > nProcs {
+				size = nProcs
+			}
+			w := int64(1)
+			if maxW > 1 {
+				w = 1 + rng.Int63n(maxW)
+			}
+			b.AddEdge(t, rng.Perm(nProcs)[:size], w)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestPortfolioAtLeastAsGoodAsEveryMember(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHyper(rng, 1+rng.Intn(40), 2+rng.Intn(8), 4, 4, 9)
+		res := Solve(h, Options{})
+		if core.ValidateHyperAssignment(h, res.Assignment) != nil {
+			return false
+		}
+		if res.Makespan != core.HyperMakespan(h, res.Assignment) {
+			return false
+		}
+		for _, name := range DefaultAlgorithms {
+			if res.Makespan > res.Makespans[name] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortfolioDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := randomHyper(rng, 50, 8, 4, 4, 9)
+	r1 := Solve(h, Options{Workers: 1})
+	r4 := Solve(h, Options{Workers: 4})
+	if r1.Winner != r4.Winner || !reflect.DeepEqual(r1.Assignment, r4.Assignment) {
+		t.Fatalf("winner %q (1 worker) vs %q (4 workers)", r1.Winner, r4.Winner)
+	}
+}
+
+func TestPortfolioRefineNeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		h := randomHyper(rng, 40, 6, 4, 3, 9)
+		plain := Solve(h, Options{})
+		refined := Solve(h, Options{Refine: true})
+		if refined.Makespan > plain.Makespan {
+			t.Fatalf("trial %d: refined %d worse than plain %d", trial, refined.Makespan, plain.Makespan)
+		}
+	}
+}
+
+func TestPortfolioSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := randomHyper(rng, 30, 6, 3, 3, 5)
+	res := Solve(h, Options{Algorithms: []string{"SGH"}})
+	if res.Winner != "SGH" {
+		t.Fatalf("winner = %q", res.Winner)
+	}
+	want := core.HyperMakespan(h, core.SortedGreedyHyp(h, core.HyperOptions{}))
+	if res.Makespan != want {
+		t.Fatalf("makespan %d, want %d", res.Makespan, want)
+	}
+	if len(res.Makespans) != 1 {
+		t.Fatalf("league table %v", res.Makespans)
+	}
+}
+
+func TestPortfolioTieBreaksByOrder(t *testing.T) {
+	// A forced instance: every algorithm produces the same (only)
+	// schedule; the first portfolio member must win.
+	b := hypergraph.NewBuilder(2, 2)
+	b.AddEdge(0, []int{0}, 3)
+	b.AddEdge(1, []int{1}, 3)
+	h := b.MustBuild()
+	res := Solve(h, Options{})
+	if res.Winner != "SGH" {
+		t.Fatalf("tie should go to the first member, got %q", res.Winner)
+	}
+}
+
+func BenchmarkPortfolio(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h := randomHyper(rng, 5120, 256, 5, 10, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(h, Options{})
+	}
+}

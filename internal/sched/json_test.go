@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in := cluster()
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	in2, err := ReadInstanceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in2.Tasks) != len(in.Tasks) || len(in2.ProcNames) != len(in.ProcNames) {
+		t.Fatalf("shape: %d/%d tasks, %d/%d procs", len(in2.Tasks), len(in.Tasks), len(in2.ProcNames), len(in.ProcNames))
+	}
+	// The two instances must solve identically.
+	s1, err := Solve(in, Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Solve(in2, Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Makespan != s2.Makespan {
+		t.Fatalf("makespans diverge after round trip: %d vs %d", s1.Makespan, s2.Makespan)
+	}
+}
+
+func TestReadInstanceJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"garbage", "{"},
+		{"unknown field", `{"processors":["p"],"tasks":[],"bogus":1}`},
+		{"no processors", `{"processors":[],"tasks":[]}`},
+		{"task without config", `{"processors":["p"],"tasks":[{"name":"t","configs":[]}]}`},
+		{"zero time", `{"processors":["p"],"tasks":[{"name":"t","configs":[{"procs":[0],"time":0}]}]}`},
+		{"empty procs", `{"processors":["p"],"tasks":[{"name":"t","configs":[{"procs":[],"time":1}]}]}`},
+		{"proc out of range", `{"processors":["p"],"tasks":[{"name":"t","configs":[{"procs":[3],"time":1}]}]}`},
+		{"duplicate proc in config", `{"processors":["p","q"],"tasks":[{"name":"t","configs":[{"procs":[0,0],"time":1}]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadInstanceJSON(strings.NewReader(tc.src)); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestScheduleWriteJSON(t *testing.T) {
+	s, err := Solve(cluster(), Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf, "exact"); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out["algorithm"] != "exact" || out["optimal"] != true {
+		t.Fatalf("metadata: %v", out)
+	}
+	if _, ok := out["loads"].(map[string]any)["gpu"]; !ok {
+		t.Fatalf("loads missing gpu: %v", out["loads"])
+	}
+	tasks := out["tasks"].([]any)
+	if len(tasks) != 3 {
+		t.Fatalf("tasks: %v", tasks)
+	}
+	first := tasks[0].(map[string]any)
+	if first["name"] != "render" {
+		t.Fatalf("first task: %v", first)
+	}
+}
+
+func TestJSONExampleFromDoc(t *testing.T) {
+	src := `{
+	  "processors": ["cpu0", "cpu1", "gpu"],
+	  "tasks": [
+	    {"name": "render", "configs": [
+	      {"procs": [0], "time": 8},
+	      {"procs": [0, 2], "time": 3}
+	    ]}
+	  ]
+	}`
+	in, err := ReadInstanceJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Solve(in, ExpectedVectorGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 3 {
+		t.Fatalf("makespan = %d, want 3 (CPU+GPU config)", s.Makespan)
+	}
+}

@@ -1,0 +1,207 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// cluster builds a small heterogeneous instance: two CPUs and a GPU;
+// tasks may run on one CPU slowly or on CPU+GPU together faster.
+func cluster() *Instance {
+	in := NewInstance("cpu0", "cpu1", "gpu")
+	in.AddTask("render",
+		Config{Procs: []int{0}, Time: 8},
+		Config{Procs: []int{1}, Time: 8},
+		Config{Procs: []int{0, 2}, Time: 3})
+	in.AddTask("encode",
+		Config{Procs: []int{1}, Time: 6},
+		Config{Procs: []int{1, 2}, Time: 2})
+	in.AddTask("archive",
+		Config{Procs: []int{0}, Time: 4},
+		Config{Procs: []int{1}, Time: 4})
+	return in
+}
+
+func TestHypergraphConversion(t *testing.T) {
+	in := cluster()
+	h, err := in.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NTasks != 3 || h.NProcs != 3 || h.NumEdges() != 7 {
+		t.Fatalf("conversion sizes wrong: %d %d %d", h.NTasks, h.NProcs, h.NumEdges())
+	}
+	if h.Unit() {
+		t.Fatal("weighted instance must not be unit")
+	}
+}
+
+func TestConversionErrors(t *testing.T) {
+	in := NewInstance("p0")
+	in.AddTask("empty")
+	if _, err := in.Hypergraph(); err == nil {
+		t.Fatal("task without configurations accepted")
+	}
+	in2 := NewInstance("p0")
+	in2.AddTask("bad", Config{Procs: []int{0}, Time: 0})
+	if _, err := in2.Hypergraph(); err == nil {
+		t.Fatal("zero time accepted")
+	}
+}
+
+func TestSolveAllAlgorithms(t *testing.T) {
+	in := cluster()
+	var exactM int64
+	for _, alg := range []Algorithm{SortedGreedy, ExpectedGreedy, VectorGreedy, ExpectedVectorGreedy, Exact} {
+		s, err := Solve(in, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(s.Choice) != 3 {
+			t.Fatalf("%v: choice len %d", alg, len(s.Choice))
+		}
+		if s.Makespan < 1 {
+			t.Fatalf("%v: makespan %d", alg, s.Makespan)
+		}
+		if alg == Exact {
+			exactM = s.Makespan
+			if !s.Optimal {
+				t.Fatal("exact must mark Optimal")
+			}
+		}
+	}
+	// Exact is a lower bound for every heuristic.
+	for _, alg := range []Algorithm{SortedGreedy, ExpectedGreedy, VectorGreedy, ExpectedVectorGreedy} {
+		s, err := Solve(in, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan < exactM {
+			t.Fatalf("%v beat the exact optimum: %d < %d", alg, s.Makespan, exactM)
+		}
+	}
+}
+
+func TestSolveUnknownAlgorithm(t *testing.T) {
+	if _, err := Solve(cluster(), Algorithm(42)); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		SortedGreedy: "SGH", ExpectedGreedy: "EGH", VectorGreedy: "VGH",
+		ExpectedVectorGreedy: "EVG", Exact: "exact",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}
+
+func TestSimulateAndValidate(t *testing.T) {
+	s, err := Solve(cluster(), Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := s.Simulate()
+	if err := tl.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Span != s.Makespan {
+		t.Fatalf("span %d != makespan %d", tl.Span, s.Makespan)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s, err := Solve(cluster(), SortedGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := s.Simulate()
+	// Introduce an overlap.
+	for p := range tl.Slots {
+		if len(tl.Slots[p]) >= 2 {
+			tl.Slots[p][1].Start = tl.Slots[p][0].Start
+			tl.Slots[p][1].End = tl.Slots[p][1].Start + (tl.Slots[p][1].End - tl.Slots[p][1].Start)
+			if err := tl.Validate(s); err == nil {
+				t.Fatal("overlap not detected")
+			}
+			return
+		}
+	}
+	t.Skip("no processor with two slots in this schedule")
+}
+
+func TestGanttOutput(t *testing.T) {
+	s, err := Solve(cluster(), ExpectedVectorGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	s.Simulate().Gantt(&sb, s)
+	out := sb.String()
+	if !strings.Contains(out, "cpu0") || !strings.Contains(out, "gpu") {
+		t.Fatalf("Gantt missing processor names:\n%s", out)
+	}
+	if !strings.Contains(out, "makespan") {
+		t.Fatalf("Gantt missing header:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("want 1 header + 3 processor rows:\n%s", out)
+	}
+}
+
+func TestLoadReport(t *testing.T) {
+	s, err := Solve(cluster(), Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.LoadReport()
+	if len(rep) != 3 {
+		t.Fatalf("report: %v", rep)
+	}
+	// First entry is the bottleneck: must contain the makespan value.
+	if !strings.Contains(rep[0], ":") {
+		t.Fatalf("report format: %v", rep)
+	}
+}
+
+func TestPropertySimulationSpanEqualsMakespan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProcs := 2 + rng.Intn(5)
+		names := make([]string, nProcs)
+		for i := range names {
+			names[i] = "p"
+		}
+		in := NewInstance(names...)
+		nTasks := 1 + rng.Intn(12)
+		for t := 0; t < nTasks; t++ {
+			nCfg := 1 + rng.Intn(3)
+			cfgs := make([]Config, nCfg)
+			for j := range cfgs {
+				k := 1 + rng.Intn(nProcs)
+				cfgs[j] = Config{Procs: rng.Perm(nProcs)[:k], Time: 1 + rng.Int63n(9)}
+			}
+			in.AddTask("t", cfgs...)
+		}
+		for _, alg := range []Algorithm{SortedGreedy, ExpectedGreedy, VectorGreedy, ExpectedVectorGreedy} {
+			s, err := Solve(in, alg)
+			if err != nil {
+				return false
+			}
+			tl := s.Simulate()
+			if tl.Validate(s) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+package semimatch
+
+import (
+	"io"
+
+	"semimatch/internal/adversarial"
+	"semimatch/internal/bipartite"
+	"semimatch/internal/core"
+	"semimatch/internal/encode"
+	"semimatch/internal/exact"
+	"semimatch/internal/gen"
+	"semimatch/internal/hypergraph"
+	"semimatch/internal/online"
+	"semimatch/internal/portfolio"
+	"semimatch/internal/refine"
+	"semimatch/internal/sched"
+)
+
+// Graph is a bipartite SINGLEPROC instance: tasks × processors with
+// optional execution-time edge weights. Build one with NewGraphBuilder.
+type Graph = bipartite.Graph
+
+// GraphBuilder accumulates task→processor edges.
+type GraphBuilder = bipartite.Builder
+
+// NewGraphBuilder returns a builder for a SINGLEPROC instance with nTasks
+// tasks and nProcs processors.
+func NewGraphBuilder(nTasks, nProcs int) *GraphBuilder {
+	return bipartite.NewBuilder(nTasks, nProcs)
+}
+
+// Hypergraph is a MULTIPROC instance: each hyperedge is one configuration
+// (a processor set plus a weight) of exactly one task.
+type Hypergraph = hypergraph.Hypergraph
+
+// HypergraphBuilder accumulates task configurations.
+type HypergraphBuilder = hypergraph.Builder
+
+// NewHypergraphBuilder returns a builder for a MULTIPROC instance.
+func NewHypergraphBuilder(nTasks, nProcs int) *HypergraphBuilder {
+	return hypergraph.NewBuilder(nTasks, nProcs)
+}
+
+// Assignment maps each task to its processor (SINGLEPROC semi-matching).
+type Assignment = core.Assignment
+
+// HyperAssignment maps each task to its chosen configuration (MULTIPROC
+// semi-matching).
+type HyperAssignment = core.HyperAssignment
+
+// GreedyOptions tunes the bipartite greedy heuristics; the zero value is
+// the paper's behaviour.
+type GreedyOptions = core.GreedyOptions
+
+// HyperOptions tunes the hypergraph heuristics; the zero value is the
+// paper's behaviour with the fast load-vector machinery.
+type HyperOptions = core.HyperOptions
+
+// ExactOptions configures the exact SINGLEPROC-UNIT algorithm.
+type ExactOptions = core.ExactOptions
+
+// Search strategies and feasibility testers for ExactUnit.
+const (
+	SearchIncremental = core.SearchIncremental
+	SearchBisection   = core.SearchBisection
+	TestCapacitated   = core.TestCapacitated
+	TestReplicate     = core.TestReplicate
+	TestReplicateHK   = core.TestReplicateHK
+)
+
+// SINGLEPROC heuristics (Sec. IV-B).
+var (
+	BasicGreedy    = core.BasicGreedy
+	SortedGreedy   = core.SortedGreedy
+	DoubleSorted   = core.DoubleSorted
+	ExpectedGreedy = core.ExpectedGreedy
+)
+
+// LPTGreedy is the longest-processing-time-first baseline for weighted
+// SINGLEPROC (extension beyond the paper's unit-only heuristics).
+var LPTGreedy = core.LPTGreedy
+
+// LowerBoundSingle is the weighted SINGLEPROC lower bound
+// max(⌈Σw/p⌉, max w).
+var LowerBoundSingle = core.LowerBoundSingle
+
+// ExactUnit solves SINGLEPROC-UNIT optimally (Sec. IV-A) and returns the
+// assignment and the optimal makespan.
+var ExactUnit = core.ExactUnit
+
+// HarveyOptimal is the cost-reducing-path optimal semi-matching algorithm
+// of Harvey et al., an independent exact SINGLEPROC-UNIT baseline.
+var HarveyOptimal = core.HarveyOptimal
+
+// MULTIPROC heuristics (Sec. IV-D).
+var (
+	SortedGreedyHyp         = core.SortedGreedyHyp
+	VectorGreedyHyp         = core.VectorGreedyHyp
+	ExpectedGreedyHyp       = core.ExpectedGreedyHyp
+	ExpectedVectorGreedyHyp = core.ExpectedVectorGreedyHyp
+)
+
+// Exact-arithmetic (scaled-integer) variants of the expected heuristics —
+// an ablation for floating-point tie sensitivity.
+var (
+	ExpectedGreedyHypExact       = core.ExpectedGreedyHypExact
+	ExpectedVectorGreedyHypExact = core.ExpectedVectorGreedyHypExact
+)
+
+// LowerBound is the Eq. (1) load-balance lower bound for MULTIPROC.
+var LowerBound = core.LowerBound
+
+// Refine post-processes a MULTIPROC assignment with single-task local
+// search; it never increases the makespan.
+var Refine = refine.Refine
+
+// RefineOptions bounds the local search.
+type RefineOptions = refine.Options
+
+// RefineResult reports the refinement outcome.
+type RefineResult = refine.Result
+
+// Portfolio runs several heuristics concurrently (optionally refined) and
+// returns the best schedule — the practical entry point when no single
+// heuristic dominates.
+var Portfolio = portfolio.Solve
+
+// PortfolioOptions configures Portfolio.
+type PortfolioOptions = portfolio.Options
+
+// PortfolioResult is the winning schedule plus the league table.
+type PortfolioResult = portfolio.Result
+
+// --- Online scheduling (machine-eligibility arrivals) ---
+
+// OnlineScheduler assigns arriving tasks immediately to the least-loaded
+// eligible processor.
+type OnlineScheduler = online.Scheduler
+
+// NewOnlineScheduler returns an online scheduler over nProcs processors.
+func NewOnlineScheduler(nProcs int) *OnlineScheduler { return online.New(nProcs) }
+
+// OnlineReplay feeds a SINGLEPROC instance to the online scheduler in the
+// given arrival order (nil for index order).
+var OnlineReplay = online.Replay
+
+// OnlineCompetitiveRatio measures online greedy against the offline
+// optimum on a unit instance.
+var OnlineCompetitiveRatio = online.CompetitiveRatio
+
+// Evaluation helpers.
+var (
+	Loads                   = core.Loads
+	Makespan                = core.Makespan
+	ValidateAssignment      = core.ValidateAssignment
+	HyperLoads              = core.HyperLoads
+	HyperMakespan           = core.HyperMakespan
+	ValidateHyperAssignment = core.ValidateHyperAssignment
+)
+
+// Exact branch-and-bound solvers for small NP-hard instances.
+var (
+	SolveSingleProc = exact.SolveSingleProc
+	SolveMultiProc  = exact.SolveMultiProc
+)
+
+// BnBOptions bounds the branch-and-bound search.
+type BnBOptions = exact.Options
+
+// ErrLimit reports an exhausted branch-and-bound node budget.
+var ErrLimit = exact.ErrLimit
+
+// --- Generators (Sec. V-A) ---
+
+// Generator selects an instance structure generator.
+type Generator = gen.Generator
+
+// WeightScheme selects hyperedge weights.
+type WeightScheme = gen.WeightScheme
+
+// Generator and weight-scheme values.
+const (
+	HiLo      = gen.HiLo
+	FewgManyg = gen.FewgManyg
+	Unit      = gen.Unit
+	Related   = gen.Related
+	Random    = gen.Random
+)
+
+// HyperParams parameterizes GenerateHypergraph.
+type HyperParams = gen.HyperParams
+
+// GenerateBipartite creates a random SINGLEPROC instance.
+var GenerateBipartite = gen.Bipartite
+
+// GenerateHypergraph creates a random MULTIPROC instance.
+var GenerateHypergraph = gen.Hypergraph
+
+// --- Worst-case families (Sec. III, IV-B) ---
+
+var (
+	// Fig1 is the 2-task toy where basic-greedy is 2× off.
+	Fig1 = adversarial.Fig1
+	// Chain is the Fig. 3 family: greedy k vs optimal 1.
+	Chain = adversarial.Chain
+	// ChainPlus extends Chain(3) to trap double-sorted.
+	ChainPlus = adversarial.ChainPlus
+	// ExpectedTrap extends further to trap expected-greedy.
+	ExpectedTrap = adversarial.ExpectedTrap
+)
+
+// X3C is an Exact Cover by 3-Sets instance (Theorem 1 reduction source).
+type X3C = adversarial.X3C
+
+// --- Scheduling front end ---
+
+// Config is one execution option of a task.
+type Config = sched.Config
+
+// Task is a named task with configurations.
+type Task = sched.Task
+
+// Instance is a named MULTIPROC scheduling instance.
+type Instance = sched.Instance
+
+// Schedule is a solved instance.
+type Schedule = sched.Schedule
+
+// Timeline is the discrete-event realization of a schedule.
+type Timeline = sched.Timeline
+
+// Algorithm selects the scheduling algorithm for Solve.
+type Algorithm = sched.Algorithm
+
+// Scheduling algorithm values.
+const (
+	SGH                  = sched.SortedGreedy
+	EGH                  = sched.ExpectedGreedy
+	VGH                  = sched.VectorGreedy
+	ExpectedVectorGreedy = sched.ExpectedVectorGreedy
+	ExactSchedule        = sched.Exact
+)
+
+// NewInstance returns a scheduling instance with the given processor
+// names.
+func NewInstance(procNames ...string) *Instance { return sched.NewInstance(procNames...) }
+
+// Solve schedules an instance.
+var Solve = sched.Solve
+
+// --- Persistence ---
+
+// WriteGraph writes a bipartite instance in the text format.
+func WriteGraph(w io.Writer, g *Graph) error { return encode.WriteBipartite(w, g) }
+
+// ReadGraph reads a bipartite instance.
+func ReadGraph(r io.Reader) (*Graph, error) { return encode.ReadBipartite(r) }
+
+// WriteHypergraph writes a MULTIPROC instance in the text format.
+func WriteHypergraph(w io.Writer, h *Hypergraph) error { return encode.WriteHypergraph(w, h) }
+
+// ReadHypergraph reads a MULTIPROC instance.
+func ReadHypergraph(r io.Reader) (*Hypergraph, error) { return encode.ReadHypergraph(r) }

@@ -1,0 +1,204 @@
+package semimatch_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"semimatch"
+)
+
+// TestPublicAPIEndToEnd walks the README workflow through the facade:
+// build, solve, inspect, persist, reload, re-solve.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// SINGLEPROC via the graph builder.
+	gb := semimatch.NewGraphBuilder(3, 2)
+	gb.AddEdge(0, 0)
+	gb.AddEdge(0, 1)
+	gb.AddEdge(1, 0)
+	gb.AddEdge(2, 1)
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, opt, err := semimatch.ExactUnit(g, semimatch.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T1 forces P0 and T2 forces P1, so T0 doubles one of them: OPT = 2.
+	if opt != 2 {
+		t.Fatalf("opt = %d, want 2", opt)
+	}
+	if err := semimatch.ValidateAssignment(g, a); err != nil {
+		t.Fatal(err)
+	}
+	if m := semimatch.Makespan(g, semimatch.SortedGreedy(g, semimatch.GreedyOptions{})); m < opt {
+		t.Fatalf("greedy %d below optimum %d", m, opt)
+	}
+
+	// Round-trip through the text format.
+	var buf bytes.Buffer
+	if err := semimatch.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := semimatch.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip lost edges")
+	}
+
+	// MULTIPROC via the hypergraph builder.
+	hb := semimatch.NewHypergraphBuilder(2, 3)
+	hb.AddEdge(0, []int{0}, 4)
+	hb.AddEdge(0, []int{1, 2}, 2)
+	hb.AddEdge(1, []int{2}, 3)
+	h, err := hb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := semimatch.LowerBound(h)
+	ha := semimatch.ExpectedVectorGreedyHyp(h, semimatch.HyperOptions{})
+	if err := semimatch.ValidateHyperAssignment(h, ha); err != nil {
+		t.Fatal(err)
+	}
+	if m := semimatch.HyperMakespan(h, ha); m < lb {
+		t.Fatalf("makespan %d below lower bound %d", m, lb)
+	}
+	_, optH, err := semimatch.SolveMultiProc(h, semimatch.BnBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optH < lb {
+		t.Fatalf("optimal %d below LB %d", optH, lb)
+	}
+
+	var hbuf bytes.Buffer
+	if err := semimatch.WriteHypergraph(&hbuf, h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := semimatch.ReadHypergraph(&hbuf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulingFrontEnd(t *testing.T) {
+	in := semimatch.NewInstance("p0", "p1")
+	in.AddTask("a",
+		semimatch.Config{Procs: []int{0}, Time: 2},
+		semimatch.Config{Procs: []int{0, 1}, Time: 1})
+	in.AddTask("b", semimatch.Config{Procs: []int{1}, Time: 2})
+	s, err := semimatch.Solve(in, semimatch.ExactSchedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Optimal {
+		t.Fatal("exact schedule must be optimal")
+	}
+	tl := s.Simulate()
+	if err := tl.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tl.Gantt(&sb, s)
+	if !strings.Contains(sb.String(), "p0") {
+		t.Fatalf("gantt output:\n%s", sb.String())
+	}
+}
+
+func TestGeneratorsThroughFacade(t *testing.T) {
+	h, err := semimatch.GenerateHypergraph(semimatch.HyperParams{
+		Gen: semimatch.FewgManyg, N: 100, P: 16, Dv: 3, Dh: 4, G: 4,
+		Weights: semimatch.Related,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NTasks != 100 {
+		t.Fatalf("NTasks = %d", h.NTasks)
+	}
+	g, err := semimatch.GenerateBipartite(semimatch.HiLo, 64, 16, 4, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NLeft != 64 {
+		t.Fatalf("NLeft = %d", g.NLeft)
+	}
+}
+
+func TestExtensionsThroughFacade(t *testing.T) {
+	h, err := semimatch.GenerateHypergraph(semimatch.HyperParams{
+		Gen: semimatch.FewgManyg, N: 200, P: 16, Dv: 3, Dh: 4, G: 4,
+		Weights: semimatch.Random, MaxW: 20,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Portfolio beats or ties every member, and refinement never hurts.
+	res := semimatch.Portfolio(h, semimatch.PortfolioOptions{Refine: true})
+	if err := semimatch.ValidateHyperAssignment(h, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	sgh := semimatch.HyperMakespan(h, semimatch.SortedGreedyHyp(h, semimatch.HyperOptions{}))
+	if res.Makespan > sgh {
+		t.Fatalf("portfolio %d worse than SGH %d", res.Makespan, sgh)
+	}
+	// Standalone refinement.
+	a := semimatch.SortedGreedyHyp(h, semimatch.HyperOptions{})
+	r := semimatch.Refine(h, a, semimatch.RefineOptions{})
+	if r.After > r.Before {
+		t.Fatalf("refine worsened: %d → %d", r.Before, r.After)
+	}
+	// Exact-arithmetic variant.
+	ax, err := semimatch.ExpectedVectorGreedyHypExact(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := semimatch.ValidateHyperAssignment(h, ax); err != nil {
+		t.Fatal(err)
+	}
+	// Online scheduling on the Chain family realizes ratio k.
+	g := semimatch.Chain(5)
+	ratio, err := semimatch.OnlineCompetitiveRatio(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 5 {
+		t.Fatalf("online ratio on Chain(5) = %v, want 5", ratio)
+	}
+	s := semimatch.NewOnlineScheduler(2)
+	if _, err := s.Assign([]int32{0, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 3 {
+		t.Fatalf("online makespan = %d", s.Makespan())
+	}
+}
+
+func TestAdversarialThroughFacade(t *testing.T) {
+	g := semimatch.Chain(4)
+	sorted := semimatch.Makespan(g, semimatch.SortedGreedy(g, semimatch.GreedyOptions{}))
+	_, opt, err := semimatch.ExactUnit(g, semimatch.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted != 4 || opt != 1 {
+		t.Fatalf("Chain(4): sorted=%d opt=%d, want 4 and 1", sorted, opt)
+	}
+	if semimatch.Fig1().NLeft != 2 {
+		t.Fatal("Fig1 shape")
+	}
+	x := semimatch.X3C{Q: 1, Sets: [][3]int{{0, 1, 2}}}
+	h, err := x.ToMultiproc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m, err := semimatch.SolveMultiProc(h, semimatch.BnBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1 {
+		t.Fatalf("trivial X3C optimal = %d", m)
+	}
+}
