@@ -5,6 +5,7 @@
 package semimatch_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -25,7 +26,7 @@ var benchOpts = bench.Options{
 // generation + stat collection for all four families).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunHyperTable(gen.Unit, benchOpts)
+		res, err := bench.RunHyperTable(context.Background(), gen.Unit, benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -36,7 +37,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkTable2 regenerates Table II (MULTIPROC-UNIT quality vs LB).
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.RunHyperTable(gen.Unit, benchOpts); err != nil {
+		if _, err := bench.RunHyperTable(context.Background(), gen.Unit, benchOpts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -45,7 +46,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkTable3 regenerates Table III (related weights).
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.RunHyperTable(gen.Related, benchOpts); err != nil {
+		if _, err := bench.RunHyperTable(context.Background(), gen.Related, benchOpts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -54,7 +55,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkTable8 regenerates the TR's random-weights table.
 func BenchmarkTable8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.RunHyperTable(gen.Random, benchOpts); err != nil {
+		if _, err := bench.RunHyperTable(context.Background(), gen.Random, benchOpts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -66,7 +67,7 @@ func BenchmarkSingleProcTables(b *testing.B) {
 	for _, generator := range []gen.Generator{gen.FewgManyg, gen.HiLo} {
 		b.Run(generator.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := bench.RunSingleProc(generator, 10, 32, benchOpts); err != nil {
+				if _, err := bench.RunSingleProc(context.Background(), generator, 10, 32, benchOpts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,4 +1,7 @@
-// Command semibench regenerates the paper's evaluation tables.
+// Command semibench regenerates the paper's evaluation tables. Experiment
+// jobs — one generated instance each — are sharded across all cores by the
+// batch worker pool, so wall-clock time drops roughly linearly with the
+// core count.
 //
 // Usage:
 //
@@ -11,10 +14,13 @@
 //	semibench -table all          # everything
 //	semibench -quick              # reduced grid (3 seeds, 2 sizes)
 //	semibench -seeds 5 -workers 1 # methodology knobs
+//	semibench -timeout 30s        # abort cleanly when the budget expires
 //	semibench -naive              # naive vector heuristics (ablation)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,22 +36,36 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS; 1 for timing-grade runs)")
 	naive := flag.Bool("naive", false, "use the naive O(p log p) vector heuristics (ablation)")
 	d := flag.Int("d", 10, "degree parameter for SINGLEPROC tables")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	flag.Parse()
 
 	opts := bench.Options{Quick: *quick, Seeds: *seeds, Workers: *workers, Naive: *naive}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	run := func(name string, f func() error) {
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "semibench: %s: %v\n", name, err)
+		err := f()
+		if err == nil {
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "semibench: %s: timed out after %v\n", name, *timeout)
 			os.Exit(1)
 		}
+		fmt.Fprintf(os.Stderr, "semibench: %s: %v\n", name, err)
+		os.Exit(1)
 	}
 
 	want := func(t string) bool { return *table == t || *table == "all" }
 
 	if want("1") {
 		run("table 1", func() error {
-			res, err := bench.RunHyperTable(gen.Unit, opts)
+			res, err := bench.RunHyperTable(ctx, gen.Unit, opts)
 			if err != nil {
 				return err
 			}
@@ -57,7 +77,7 @@ func main() {
 	}
 	if want("2") {
 		run("table 2", func() error {
-			res, err := bench.RunHyperTable(gen.Unit, opts)
+			res, err := bench.RunHyperTable(ctx, gen.Unit, opts)
 			if err != nil {
 				return err
 			}
@@ -69,7 +89,7 @@ func main() {
 	}
 	if want("3") {
 		run("table 3", func() error {
-			res, err := bench.RunHyperTable(gen.Related, opts)
+			res, err := bench.RunHyperTable(ctx, gen.Related, opts)
 			if err != nil {
 				return err
 			}
@@ -81,7 +101,7 @@ func main() {
 	}
 	if want("8") {
 		run("table 8", func() error {
-			res, err := bench.RunHyperTable(gen.Random, opts)
+			res, err := bench.RunHyperTable(ctx, gen.Random, opts)
 			if err != nil {
 				return err
 			}
@@ -108,7 +128,7 @@ func main() {
 			for _, g := range []int{32, 128} {
 				generator, g := generator, g
 				run("sp", func() error {
-					res, err := bench.RunSingleProc(generator, *d, g, opts)
+					res, err := bench.RunSingleProc(ctx, generator, *d, g, opts)
 					if err != nil {
 						return err
 					}

@@ -95,7 +95,10 @@ func solvePortfolio(in *sched.Instance, doRefine bool) (*sched.Schedule, error) 
 	if err != nil {
 		return nil, err
 	}
-	res := portfolio.Solve(h, portfolio.Options{Refine: doRefine})
+	res, err := portfolio.Solve(h, portfolio.Options{Refine: doRefine})
+	if err != nil {
+		return nil, err
+	}
 	return scheduleFromAssignment(in, res.Assignment)
 }
 

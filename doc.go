@@ -29,6 +29,8 @@
 //     hypergraphs; unit/related/random weights) and worst-case families.
 //   - A scheduling front end (named tasks and processors, Gantt charts)
 //     and an experiment harness regenerating every table of the paper.
+//   - A context-aware batch-solving layer that shards many instances
+//     across all cores.
 //
 // # Quick start
 //
@@ -39,6 +41,31 @@
 //	in.AddTask("encode", semimatch.Config{Procs: []int{1}, Time: 6})
 //	s, err := semimatch.Solve(in, semimatch.ExpectedVectorGreedy)
 //	// s.Makespan, s.Choice, s.Simulate() ...
+//
+// # Cancellation, deadlines, batching
+//
+// The long-running solvers have context-aware entry points. The
+// branch-and-bound searches (SolveSingleProcCtx, SolveMultiProcCtx) poll
+// the context alongside their node budget and, when it is cancelled,
+// return the best schedule found so far with an error wrapping
+// ErrCancelled. PortfolioCtx races the heuristics against a deadline and
+// judges whichever candidates finished in time; RefineCtx winds local
+// search down at the next poll, keeping its (never worse) intermediate
+// result.
+//
+// SolveBatch builds on these to solve many instances at once on a
+// GOMAXPROCS-wide worker pool with per-instance error isolation:
+//
+//	results, err := semimatch.SolveBatch(ctx, instances, semimatch.BatchOptions{
+//	    Refine: true,                       // local search on every candidate
+//	    InstanceTimeout: time.Second,       // per-instance budget
+//	})
+//	// results[i].Makespan, results[i].Optimal, results[i].Err ...
+//
+// Each instance runs the portfolio first, then — when small enough — an
+// exact branch-and-bound attempt that can prove optimality, falling back
+// to the best schedule found when a budget expires. Results are
+// deterministic in the worker count.
 //
 // See examples/ for runnable programs and cmd/semibench for the
 // experiment harness.

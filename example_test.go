@@ -1,6 +1,7 @@
 package semimatch_test
 
 import (
+	"context"
 	"fmt"
 
 	"semimatch"
@@ -84,8 +85,35 @@ func ExamplePortfolio() {
 	b.AddEdge(2, []int{1}, 2)
 	h, _ := b.Build()
 
-	res := semimatch.Portfolio(h, semimatch.PortfolioOptions{Refine: true})
+	res, _ := semimatch.Portfolio(h, semimatch.PortfolioOptions{Refine: true})
 	fmt.Println("makespan:", res.Makespan)
 	// Output:
 	// makespan: 7
+}
+
+// SolveBatch shards many instances across all cores: each one gets the
+// portfolio, plus a branch-and-bound optimality proof when it is small
+// enough, under a common context that can carry a deadline.
+func ExampleSolveBatch() {
+	var instances []*semimatch.Hypergraph
+	for i := 0; i < 3; i++ {
+		b := semimatch.NewHypergraphBuilder(2, 2)
+		b.AddEdge(0, []int{0}, int64(4+i))
+		b.AddEdge(0, []int{1}, int64(4+i))
+		b.AddEdge(1, []int{0}, 2)
+		h, _ := b.Build()
+		instances = append(instances, h)
+	}
+
+	results, err := semimatch.SolveBatch(context.Background(), instances, semimatch.BatchOptions{Refine: true})
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		fmt.Printf("instance %d: makespan %d, optimal %v\n", i, r.Makespan, r.Optimal)
+	}
+	// Output:
+	// instance 0: makespan 4, optimal true
+	// instance 1: makespan 5, optimal true
+	// instance 2: makespan 6, optimal true
 }

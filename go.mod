@@ -1,0 +1,3 @@
+module semimatch
+
+go 1.21

@@ -1,0 +1,262 @@
+// Package batch solves many MULTIPROC instances at once on a worker pool —
+// the sharding/batching layer that turns the per-instance solvers into a
+// throughput-oriented subsystem. Instances are distributed across
+// GOMAXPROCS workers; each one is solved by a fixed per-instance policy:
+//
+//  1. portfolio first — the concurrent heuristic race (optionally
+//     refined), which always produces a schedule quickly;
+//  2. exact second, when the instance is small enough — a branch-and-bound
+//     run under a node budget that either proves optimality or improves
+//     the incumbent;
+//  3. fallback on timeout — every stage observes the context, so an
+//     expiring per-instance or batch deadline degrades the answer (best
+//     schedule found so far) instead of aborting it.
+//
+// Failures are isolated per instance: a nil instance, a panic, or a
+// timeout in one work item is recorded in its Result and never poisons its
+// siblings. Results are deterministic: for a given instance and options
+// the answer does not depend on the worker count or on goroutine timing
+// (deadlines excepted, by nature).
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"semimatch/internal/core"
+	"semimatch/internal/exact"
+	"semimatch/internal/hypergraph"
+	"semimatch/internal/portfolio"
+)
+
+// Defaults for the exact-solve stage of the per-instance policy.
+const (
+	// DefaultExactTaskLimit is the largest instance (in tasks) that gets a
+	// branch-and-bound attempt when Options.ExactTaskLimit is zero.
+	DefaultExactTaskLimit = 16
+	// DefaultExactNodes is the branch-and-bound node budget when
+	// Options.ExactNodes is zero — small enough to bound each attempt to
+	// tens of milliseconds.
+	DefaultExactNodes = 2_000_000
+)
+
+// Options configures a batch run.
+type Options struct {
+	// Workers bounds the pool; 0 means GOMAXPROCS.
+	Workers int
+	// InstanceTimeout is a per-instance deadline layered under the batch
+	// context; 0 means none. When it expires the instance keeps the best
+	// schedule found so far.
+	InstanceTimeout time.Duration
+	// Algorithms restricts the portfolio stage; nil means all members.
+	Algorithms []string
+	// Refine post-processes every portfolio candidate with local search.
+	Refine bool
+	// ExactTaskLimit is the largest instance that also gets an exact
+	// branch-and-bound attempt; 0 means DefaultExactTaskLimit, negative
+	// disables the exact stage entirely.
+	ExactTaskLimit int
+	// ExactNodes is the branch-and-bound node budget; 0 means
+	// DefaultExactNodes.
+	ExactNodes int64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) exactTaskLimit() int {
+	if o.ExactTaskLimit == 0 {
+		return DefaultExactTaskLimit
+	}
+	return o.ExactTaskLimit
+}
+
+func (o Options) exactNodes() int64 {
+	if o.ExactNodes <= 0 {
+		return DefaultExactNodes
+	}
+	return o.ExactNodes
+}
+
+// Result is the outcome for one instance of the batch.
+type Result struct {
+	// Assignment is the best schedule found; nil only when Err is set and
+	// no stage produced a schedule.
+	Assignment core.HyperAssignment
+	Makespan   int64
+	// Source names what produced the schedule: a portfolio member
+	// ("SGH", ...), "exact" (proven optimal), or "exact-incumbent" (a
+	// budget- or deadline-truncated branch-and-bound that still beat the
+	// portfolio).
+	Source string
+	// Optimal reports that the exact stage proved this schedule optimal.
+	Optimal bool
+	// Err is this instance's failure, if any; other instances are
+	// unaffected.
+	Err error
+	// Elapsed is the wall-clock time spent on this instance.
+	Elapsed time.Duration
+}
+
+// Runner is a reusable batch solver.
+type Runner struct {
+	opts Options
+}
+
+// New returns a Runner with the given options.
+func New(opts Options) *Runner { return &Runner{opts: opts} }
+
+// Run solves every instance and returns one Result per instance, in input
+// order. A configuration error (unknown portfolio algorithm) fails the
+// whole batch up front with nil results; per-instance failures land in the
+// matching Result.Err. When ctx is cancelled mid-batch Run returns
+// promptly with the partial results alongside ctx's error: in-flight
+// solvers stop at their next context poll (keeping their best schedule so
+// far) and instances that never started carry a "not started" error.
+func (r *Runner) Run(ctx context.Context, instances []*hypergraph.Hypergraph) ([]Result, error) {
+	if err := portfolio.ValidateAlgorithms(r.opts.Algorithms); err != nil {
+		return nil, fmt.Errorf("batch: %w", err)
+	}
+	results := make([]Result, len(instances))
+	started := make([]bool, len(instances))
+	err := ForEach(ctx, r.opts.workers(), len(instances), func(ctx context.Context, i int) error {
+		started[i] = true
+		results[i] = r.solveOne(ctx, instances[i])
+		return nil
+	})
+	for i := range results {
+		if !started[i] {
+			results[i] = Result{Err: fmt.Errorf("batch: not started: %w", ctx.Err())}
+		}
+	}
+	return results, err
+}
+
+// solveOne applies the per-instance policy. It never lets a failure
+// escape: panics and errors end up in the Result.
+func (r *Runner) solveOne(ctx context.Context, h *hypergraph.Hypergraph) (res Result) {
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			res = Result{Err: fmt.Errorf("batch: panic solving instance: %v", p)}
+		}
+		res.Elapsed = time.Since(start)
+	}()
+	if h == nil {
+		return Result{Err: errors.New("batch: nil instance")}
+	}
+	ictx := ctx
+	if r.opts.InstanceTimeout > 0 {
+		var cancel context.CancelFunc
+		ictx, cancel = context.WithTimeout(ctx, r.opts.InstanceTimeout)
+		defer cancel()
+	}
+
+	// Stage 1: portfolio. Workers=1 — the batch pool already owns the
+	// cores; nested fan-out would just add scheduling noise.
+	pres, err := portfolio.SolveCtx(ictx, h, portfolio.Options{
+		Algorithms: r.opts.Algorithms,
+		Refine:     r.opts.Refine,
+		Workers:    1,
+	})
+	if err != nil {
+		return Result{Err: err}
+	}
+	res = Result{Assignment: pres.Assignment, Makespan: pres.Makespan, Source: pres.Winner}
+
+	// Stage 2: exact, for small instances with budget left.
+	if lim := r.opts.exactTaskLimit(); lim > 0 && h.NTasks <= lim && ictx.Err() == nil {
+		a, m, exErr := exact.SolveMultiProcCtx(ictx, h, exact.Options{MaxNodes: r.opts.exactNodes()})
+		switch {
+		case exErr == nil:
+			// Proven optimal. Prefer the portfolio schedule on a tie so
+			// the refined load vector survives.
+			if m < res.Makespan {
+				res.Assignment, res.Makespan, res.Source = a, m, "exact"
+			}
+			res.Optimal = true
+		case errors.Is(exErr, exact.ErrLimit) || errors.Is(exErr, exact.ErrCancelled):
+			// Stage 3, fallback: the truncated search still returns its
+			// incumbent, which may beat the portfolio.
+			if m < res.Makespan {
+				res.Assignment, res.Makespan, res.Source = a, m, "exact-incumbent"
+			}
+		default:
+			// Structural errors (no processors, isolated task) would have
+			// failed the portfolio already; surface anything unexpected.
+			res.Err = exErr
+		}
+	}
+	return res
+}
+
+// ForEach runs fn(ctx, i) for every index in [0, n) on a pool of workers —
+// the sharding primitive under Runner, exported for other fan-out loops
+// (the bench harness drives its experiment grids through it). It stops
+// dispatching when ctx is cancelled or fn returns an error (in-flight
+// calls get a context cancelled at that point) and returns the first
+// error, or ctx's error when the context ended the run.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if cctx.Err() != nil {
+					return
+				}
+				if err := fn(cctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-cctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

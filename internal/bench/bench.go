@@ -8,12 +8,16 @@
 // instances are generated (seeds 1..10); quality columns report the median
 // over instances of makespan/LB (or makespan/OPT for SINGLEPROC); time
 // rows report the mean wall-clock seconds over all instances in the table.
-// Instance jobs run on a bounded worker pool; algorithm timings are taken
-// inside each job, so parallelism does not change the reported work (only
-// scheduling noise — pass Workers=1 for timing-grade runs).
+// Instance jobs are sharded over the batch worker pool (one instance per
+// work item, batch.ForEach), so a table run uses every core and observes
+// the caller's context — a cancelled or expired context aborts the
+// remaining jobs promptly. Algorithm timings are taken inside each job, so
+// parallelism does not change the reported work (only scheduling noise —
+// pass Workers=1 for timing-grade runs).
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"semimatch/internal/batch"
 	"semimatch/internal/bipartite"
 	"semimatch/internal/core"
 	"semimatch/internal/gen"
@@ -154,8 +159,10 @@ type HyperResult struct {
 }
 
 // RunHyperTable regenerates Table II (Unit), Table III (Related) or the TR
-// random-weights table (Random), per the weight scheme.
-func RunHyperTable(weights gen.WeightScheme, o Options) (*HyperResult, error) {
+// random-weights table (Random), per the weight scheme. Jobs — one
+// generated instance each — run on the batch worker pool under ctx; a
+// cancelled context aborts the run and returns its error.
+func RunHyperTable(ctx context.Context, weights gen.WeightScheme, o Options) (*HyperResult, error) {
 	const dv, dh = 5, 10 // the parameter choice detailed in the paper
 	type job struct {
 		famIdx, sizeIdx, seed int
@@ -167,62 +174,49 @@ func RunHyperTable(weights gen.WeightScheme, o Options) (*HyperResult, error) {
 		times             map[string]time.Duration
 	}
 	sizes := o.sizes()
-	jobs := make(chan job)
-	results := make(map[[2]int][]obs)
-	var mu sync.Mutex
-	var firstErr error
-
-	var wg sync.WaitGroup
-	for w := 0; w < o.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				fam, size := Families[j.famIdx], sizes[j.sizeIdx]
-				h, err := gen.Hypergraph(gen.HyperParams{
-					Gen: fam.Gen, N: size.N, P: size.P,
-					Dv: dv, Dh: dh, G: fam.G, Weights: weights,
-				}, int64(j.seed))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				ob := obs{
-					numEdges: h.NumEdges(),
-					numPins:  h.NumPins(),
-					lb:       core.LowerBound(h),
-					ratio:    map[string]float64{},
-					times:    map[string]time.Duration{},
-				}
-				for _, name := range HyperAlgorithms {
-					start := time.Now()
-					a := runHyperAlgorithm(name, h, core.HyperOptions{Naive: o.Naive})
-					ob.times[name] = time.Since(start)
-					m := core.HyperMakespan(h, a)
-					ob.ratio[name] = float64(m) / float64(ob.lb)
-				}
-				mu.Lock()
-				key := [2]int{j.famIdx, j.sizeIdx}
-				results[key] = append(results[key], ob)
-				mu.Unlock()
-			}
-		}()
-	}
+	var jobs []job
 	for fi := range Families {
 		for si := range sizes {
 			for seed := 1; seed <= o.seeds(); seed++ {
-				jobs <- job{fi, si, seed}
+				jobs = append(jobs, job{fi, si, seed})
 			}
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	results := make(map[[2]int][]obs)
+	var mu sync.Mutex
+
+	err := batch.ForEach(ctx, o.workers(), len(jobs), func(ctx context.Context, i int) error {
+		j := jobs[i]
+		fam, size := Families[j.famIdx], sizes[j.sizeIdx]
+		h, err := gen.Hypergraph(gen.HyperParams{
+			Gen: fam.Gen, N: size.N, P: size.P,
+			Dv: dv, Dh: dh, G: fam.G, Weights: weights,
+		}, int64(j.seed))
+		if err != nil {
+			return err
+		}
+		ob := obs{
+			numEdges: h.NumEdges(),
+			numPins:  h.NumPins(),
+			lb:       core.LowerBound(h),
+			ratio:    map[string]float64{},
+			times:    map[string]time.Duration{},
+		}
+		for _, name := range HyperAlgorithms {
+			start := time.Now()
+			a := runHyperAlgorithm(name, h, core.HyperOptions{Naive: o.Naive})
+			ob.times[name] = time.Since(start)
+			m := core.HyperMakespan(h, a)
+			ob.ratio[name] = float64(m) / float64(ob.lb)
+		}
+		mu.Lock()
+		key := [2]int{j.famIdx, j.sizeIdx}
+		results[key] = append(results[key], ob)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &HyperResult{
@@ -370,8 +364,9 @@ type SPResult struct {
 
 // RunSingleProc regenerates a SINGLEPROC-UNIT experiment: instances from
 // the given generator with degree parameter d and g groups over the size
-// grid, solved by the four greedy heuristics and the exact algorithm.
-func RunSingleProc(generator gen.Generator, d, g int, o Options) (*SPResult, error) {
+// grid, solved by the four greedy heuristics and the exact algorithm. Jobs
+// run on the batch worker pool under ctx.
+func RunSingleProc(ctx context.Context, generator gen.Generator, d, g int, o Options) (*SPResult, error) {
 	type job struct {
 		sizeIdx, seed int
 	}
@@ -383,68 +378,50 @@ func RunSingleProc(generator gen.Generator, d, g int, o Options) (*SPResult, err
 		exactTime time.Duration
 	}
 	sizes := o.sizes()
-	jobs := make(chan job)
-	results := make(map[int][]obs)
-	var mu sync.Mutex
-	var firstErr error
-
-	var wg sync.WaitGroup
-	for w := 0; w < o.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				size := sizes[j.sizeIdx]
-				gr, err := gen.Bipartite(generator, size.N, size.P, g, d, int64(j.seed))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				start := time.Now()
-				_, opt, err := core.ExactUnit(gr, core.ExactOptions{
-					Strategy: core.SearchBisection, Tester: core.TestCapacitated,
-				})
-				exactTime := time.Since(start)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				ob := obs{
-					numEdges:  gr.NumEdges(),
-					opt:       opt,
-					ratio:     map[string]float64{},
-					times:     map[string]time.Duration{},
-					exactTime: exactTime,
-				}
-				for _, name := range SPAlgorithms {
-					t0 := time.Now()
-					a := runSPAlgorithm(name, gr)
-					ob.times[name] = time.Since(t0)
-					ob.ratio[name] = float64(core.Makespan(gr, a)) / float64(opt)
-				}
-				mu.Lock()
-				results[j.sizeIdx] = append(results[j.sizeIdx], ob)
-				mu.Unlock()
-			}
-		}()
-	}
+	var jobs []job
 	for si := range sizes {
 		for seed := 1; seed <= o.seeds(); seed++ {
-			jobs <- job{si, seed}
+			jobs = append(jobs, job{si, seed})
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	results := make(map[int][]obs)
+	var mu sync.Mutex
+
+	err := batch.ForEach(ctx, o.workers(), len(jobs), func(ctx context.Context, i int) error {
+		j := jobs[i]
+		size := sizes[j.sizeIdx]
+		gr, err := gen.Bipartite(generator, size.N, size.P, g, d, int64(j.seed))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		_, opt, err := core.ExactUnit(gr, core.ExactOptions{
+			Strategy: core.SearchBisection, Tester: core.TestCapacitated,
+		})
+		exactTime := time.Since(start)
+		if err != nil {
+			return err
+		}
+		ob := obs{
+			numEdges:  gr.NumEdges(),
+			opt:       opt,
+			ratio:     map[string]float64{},
+			times:     map[string]time.Duration{},
+			exactTime: exactTime,
+		}
+		for _, name := range SPAlgorithms {
+			t0 := time.Now()
+			a := runSPAlgorithm(name, gr)
+			ob.times[name] = time.Since(t0)
+			ob.ratio[name] = float64(core.Makespan(gr, a)) / float64(opt)
+		}
+		mu.Lock()
+		results[j.sizeIdx] = append(results[j.sizeIdx], ob)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	prefix := "FG"

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"semimatch/internal/gen"
 )
@@ -10,12 +13,30 @@ import (
 // quickOpts keeps harness tests CI-sized.
 var quickOpts = Options{Quick: true, Seeds: 2}
 
+// tinySizes is a reduced grid for assertions that don't need the paper's
+// scale (format, naming, option plumbing). P stays at 128 because the
+// two-stage generator needs a processor per group for the G=128 families;
+// the "5-1" label is kept so instance names match the real grid's.
+var tinySizes = []SizeRow{
+	{"5-1", 640, 128},
+}
+
+// tableOpts returns CI-sized options normally and tiny ones under -short,
+// for tests whose assertions hold at any instance scale.
+func tableOpts() Options {
+	if testing.Short() {
+		return Options{Seeds: 2, SizesOverride: tinySizes}
+	}
+	return quickOpts
+}
+
 func TestRunHyperTableUnitQuick(t *testing.T) {
-	res, err := RunHyperTable(gen.Unit, quickOpts)
+	opts := tableOpts()
+	res, err := RunHyperTable(context.Background(), gen.Unit, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != len(Families)*len(QuickSizes) {
+	if len(res.Rows) != len(Families)*len(opts.sizes()) {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
 	for _, r := range res.Rows {
@@ -39,14 +60,16 @@ func TestRunHyperTableUnitQuick(t *testing.T) {
 }
 
 func TestRunHyperTableWeightedNames(t *testing.T) {
-	res, err := RunHyperTable(gen.Related, Options{Quick: true, Seeds: 1})
+	// Only the naming convention is under test — tiny instances suffice.
+	tiny := Options{Seeds: 1, SizesOverride: tinySizes[:1]}
+	res, err := RunHyperTable(context.Background(), gen.Related, tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasSuffix(res.Rows[0].Name, "-MP-W") {
 		t.Fatalf("weighted name = %q", res.Rows[0].Name)
 	}
-	res2, err := RunHyperTable(gen.Random, Options{Quick: true, Seeds: 1})
+	res2, err := RunHyperTable(context.Background(), gen.Random, tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,15 +79,15 @@ func TestRunHyperTableWeightedNames(t *testing.T) {
 }
 
 func TestNaiveMatchesFastQuality(t *testing.T) {
-	// The ablation switch must not change results, only speed. Smallest
-	// size only: the naive vector heuristics are O(p log p) per candidate.
-	tiny := Options{Seeds: 1, SizesOverride: []SizeRow{{"5-1", 1280, 256}}}
-	fast, err := RunHyperTable(gen.Related, tiny)
+	// The ablation switch must not change results, only speed — an
+	// identity that holds at any scale, so tiny instances suffice.
+	tiny := Options{Seeds: 1, SizesOverride: tinySizes}
+	fast, err := RunHyperTable(context.Background(), gen.Related, tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tiny.Naive = true
-	naive, err := RunHyperTable(gen.Related, tiny)
+	naive, err := RunHyperTable(context.Background(), gen.Related, tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +102,7 @@ func TestNaiveMatchesFastQuality(t *testing.T) {
 }
 
 func TestFormatHyperOutputs(t *testing.T) {
-	res, err := RunHyperTable(gen.Unit, Options{Quick: true, Seeds: 1})
+	res, err := RunHyperTable(context.Background(), gen.Unit, Options{Seeds: 1, SizesOverride: tinySizes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,13 +121,23 @@ func TestFormatHyperOutputs(t *testing.T) {
 	}
 }
 
+func TestRunHyperTableCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunHyperTable(ctx, gen.Unit, Options{Seeds: 1, SizesOverride: tinySizes})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
 func TestRunSingleProcQuick(t *testing.T) {
+	opts := tableOpts()
 	for _, generator := range []gen.Generator{gen.FewgManyg, gen.HiLo} {
-		res, err := RunSingleProc(generator, 5, 32, quickOpts)
+		res, err := RunSingleProc(context.Background(), generator, 5, 32, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(res.Rows) != len(QuickSizes) {
+		if len(res.Rows) != len(opts.sizes()) {
 			t.Fatalf("rows = %d", len(res.Rows))
 		}
 		for _, r := range res.Rows {
@@ -124,9 +157,21 @@ func TestRunSingleProcQuick(t *testing.T) {
 	}
 }
 
+func TestRunSingleProcDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	_, err := RunSingleProc(ctx, gen.FewgManyg, 5, 32, Options{Seeds: 1, SizesOverride: tinySizes})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
 func TestSortedNotWorseThanBasicOnAverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication test needs paper-scale instances")
+	}
 	// The paper's central SINGLEPROC claim: sorting improves basic-greedy.
-	res, err := RunSingleProc(gen.FewgManyg, 5, 32, Options{Quick: true, Seeds: 3})
+	res, err := RunSingleProc(context.Background(), gen.FewgManyg, 5, 32, Options{Quick: true, Seeds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

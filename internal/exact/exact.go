@@ -12,6 +12,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -25,6 +26,71 @@ import (
 // ErrLimit reports that the node budget was exhausted before the search
 // completed; the result would not be provably optimal.
 var ErrLimit = errors.New("exact: node limit exceeded")
+
+// ErrCancelled reports that the context was cancelled (or its deadline
+// expired) mid-search. As with ErrLimit, the solver still returns its
+// incumbent — the best schedule found so far — which is valid but not
+// provably optimal. Errors returned on cancellation match both
+// errors.Is(err, ErrCancelled) and errors.Is(err, ctx.Err()).
+var ErrCancelled = errors.New("exact: cancelled")
+
+// ctxCheckInterval is how many search-tree nodes are expanded between
+// context polls. Nodes cost tens of nanoseconds, so this bounds the
+// cancellation latency to well under a millisecond while keeping the poll
+// off the hot path.
+const ctxCheckInterval = 4096
+
+// stopper folds the two ways a search can stop early — node budget and
+// context cancellation — into one cheap per-node check.
+type stopper struct {
+	nodes      int64
+	sinceCheck int
+	done       <-chan struct{}
+	stopped    bool
+	cancelled  bool
+}
+
+func newStopper(ctx context.Context, maxNodes int64) *stopper {
+	return &stopper{nodes: maxNodes, done: ctx.Done()}
+}
+
+// stop reports whether the search must unwind. Once it returns true it
+// keeps returning true, so the recursion exits quickly.
+func (s *stopper) stop() bool {
+	if s.stopped {
+		return true
+	}
+	s.nodes--
+	if s.nodes < 0 {
+		s.stopped = true
+		return true
+	}
+	if s.done != nil {
+		s.sinceCheck++
+		if s.sinceCheck >= ctxCheckInterval {
+			s.sinceCheck = 0
+			select {
+			case <-s.done:
+				s.stopped, s.cancelled = true, true
+				return true
+			default:
+			}
+		}
+	}
+	return false
+}
+
+// err translates the stop cause into the API error, or nil if the search
+// ran to completion.
+func (s *stopper) err(ctx context.Context) error {
+	if !s.stopped {
+		return nil
+	}
+	if s.cancelled {
+		return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+	}
+	return ErrLimit
+}
 
 // Options bounds the search.
 type Options struct {
@@ -45,6 +111,14 @@ func (o Options) maxNodes() int64 {
 // unit) by branch and bound. Tasks with empty eligibility sets yield an
 // error.
 func SolveSingleProc(g *bipartite.Graph, opts Options) (core.Assignment, int64, error) {
+	return SolveSingleProcCtx(context.Background(), g, opts)
+}
+
+// SolveSingleProcCtx is SolveSingleProc with cooperative cancellation: the
+// search polls ctx alongside the MaxNodes budget and, when ctx is
+// cancelled, returns the incumbent with an error wrapping ErrCancelled and
+// ctx.Err().
+func SolveSingleProcCtx(ctx context.Context, g *bipartite.Graph, opts Options) (core.Assignment, int64, error) {
 	n, p := g.NLeft, g.NRight
 	if p == 0 && n > 0 {
 		return nil, 0, fmt.Errorf("exact: no processors")
@@ -90,17 +164,11 @@ func SolveSingleProc(g *bipartite.Graph, opts Options) (core.Assignment, int64, 
 	loads := make([]int64, p)
 	cur := append(core.Assignment(nil), inc...)
 	var total int64
-	nodes := opts.maxNodes()
-	var limitHit bool
+	st := newStopper(ctx, opts.maxNodes())
 
 	var rec func(i int, curMax int64)
 	rec = func(i int, curMax int64) {
-		if limitHit {
-			return
-		}
-		nodes--
-		if nodes < 0 {
-			limitHit = true
+		if st.stop() {
 			return
 		}
 		if curMax >= best {
@@ -137,15 +205,20 @@ func SolveSingleProc(g *bipartite.Graph, opts Options) (core.Assignment, int64, 
 		}
 	}
 	rec(0, 0)
-	if limitHit {
-		return bestA, best, ErrLimit
-	}
-	return bestA, best, nil
+	return bestA, best, st.err(ctx)
 }
 
 // SolveMultiProc computes an optimal MULTIPROC schedule by branch and
 // bound.
 func SolveMultiProc(h *hypergraph.Hypergraph, opts Options) (core.HyperAssignment, int64, error) {
+	return SolveMultiProcCtx(context.Background(), h, opts)
+}
+
+// SolveMultiProcCtx is SolveMultiProc with cooperative cancellation: the
+// search polls ctx alongside the MaxNodes budget and, when ctx is
+// cancelled, returns the incumbent with an error wrapping ErrCancelled and
+// ctx.Err().
+func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (core.HyperAssignment, int64, error) {
 	n, p := h.NTasks, h.NProcs
 	if n == 0 {
 		return core.HyperAssignment{}, 0, nil
@@ -182,17 +255,11 @@ func SolveMultiProc(h *hypergraph.Hypergraph, opts Options) (core.HyperAssignmen
 	loads := make([]int64, p)
 	cur := append(core.HyperAssignment(nil), inc...)
 	var total int64
-	nodes := opts.maxNodes()
-	var limitHit bool
+	st := newStopper(ctx, opts.maxNodes())
 
 	var rec func(i int, curMax int64)
 	rec = func(i int, curMax int64) {
-		if limitHit {
-			return
-		}
-		nodes--
-		if nodes < 0 {
-			limitHit = true
+		if st.stop() {
 			return
 		}
 		if curMax >= best {
@@ -228,10 +295,7 @@ func SolveMultiProc(h *hypergraph.Hypergraph, opts Options) (core.HyperAssignmen
 		}
 	}
 	rec(0, 0)
-	if limitHit {
-		return bestA, best, ErrLimit
-	}
-	return bestA, best, nil
+	return bestA, best, st.err(ctx)
 }
 
 // SolveX3C decides Exact Cover by 3-Sets by depth-first search over the

@@ -1,10 +1,12 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"semimatch/internal/adversarial"
 	"semimatch/internal/bipartite"
@@ -295,6 +297,93 @@ func TestTheorem1Equivalence(t *testing.T) {
 	}
 	if covers == 0 || nonCovers == 0 {
 		t.Fatalf("degenerate sample: %d covers, %d non-covers", covers, nonCovers)
+	}
+}
+
+// hardHyper builds a number-partitioning instance (every task eligible on
+// every processor, large random weights): proving optimality on these takes
+// billions of search nodes, so the full search runs far beyond any test
+// timeout unless cancelled.
+func hardHyper() *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(7))
+	const n, p = 24, 3
+	b := hypergraph.NewBuilder(n, p)
+	for t := 0; t < n; t++ {
+		w := 100_000_000 + rng.Int63n(900_000_000)
+		for u := 0; u < p; u++ {
+			b.AddEdge(t, []int{u}, w)
+		}
+	}
+	return b.MustBuild()
+}
+
+// hardGraph is the bipartite analog of hardHyper.
+func hardGraph() *bipartite.Graph {
+	rng := rand.New(rand.NewSource(7))
+	const n, p = 24, 3
+	b := bipartite.NewBuilder(n, p)
+	for t := 0; t < n; t++ {
+		w := 100_000_000 + rng.Int63n(900_000_000)
+		for u := 0; u < p; u++ {
+			b.AddWeightedEdge(t, u, w)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestSolveMultiProcCtxCancelStopsPromptly(t *testing.T) {
+	h := hardHyper()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	a, m, err := SolveMultiProcCtx(ctx, h, Options{MaxNodes: 1 << 60})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.Canceled", err)
+	}
+	if elapsed > 250*time.Millisecond {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	// The incumbent is still a complete, valid schedule.
+	if err := core.ValidateHyperAssignment(h, a); err != nil {
+		t.Fatal(err)
+	}
+	if core.HyperMakespan(h, a) != m {
+		t.Fatalf("reported %d != makespan %d", m, core.HyperMakespan(h, a))
+	}
+}
+
+func TestSolveSingleProcCtxDeadline(t *testing.T) {
+	g := hardGraph()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	a, m, err := SolveSingleProcCtx(ctx, g, Options{MaxNodes: 1 << 60})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping DeadlineExceeded", err)
+	}
+	if elapsed > 250*time.Millisecond {
+		t.Fatalf("deadline overrun: %v", elapsed)
+	}
+	if err := core.ValidateAssignment(g, a); err != nil {
+		t.Fatal(err)
+	}
+	if core.Makespan(g, a) != m {
+		t.Fatalf("reported %d != makespan %d", m, core.Makespan(g, a))
+	}
+}
+
+func TestSolveCtxBackgroundMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	h := randomHyper(rng, 8, 4, 3, 3, 6)
+	_, m1, err1 := SolveMultiProc(h, Options{})
+	_, m2, err2 := SolveMultiProcCtx(context.Background(), h, Options{})
+	if err1 != nil || err2 != nil || m1 != m2 {
+		t.Fatalf("plain (%d, %v) vs ctx (%d, %v)", m1, err1, m2, err2)
 	}
 }
 

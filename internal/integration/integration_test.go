@@ -74,7 +74,10 @@ func TestHypergraphPipeline(t *testing.T) {
 			}
 		}
 		// The refined portfolio ties or beats the best individual run.
-		res := portfolio.Solve(h2, portfolio.Options{Refine: true})
+		res, err := portfolio.Solve(h2, portfolio.Options{Refine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if res.Makespan > best {
 			t.Fatalf("%s: portfolio %d worse than best refined %d", weights, res.Makespan, best)
 		}

@@ -7,11 +7,17 @@
 //
 // Optionally every candidate is post-processed with local search
 // (refine.Refine) before judging, which only ever improves results.
+//
+// SolveCtx races the members against a context: when the deadline expires
+// the portfolio stops waiting and judges whichever candidates have
+// finished, so callers get the best schedule computable within their time
+// budget rather than an all-or-nothing answer.
 package portfolio
 
 import (
+	"context"
+	"fmt"
 	"runtime"
-	"sync"
 
 	"semimatch/internal/core"
 	"semimatch/internal/hypergraph"
@@ -22,11 +28,22 @@ import (
 // Options configures a portfolio run.
 type Options struct {
 	// Algorithms restricts the portfolio; nil means all four heuristics.
+	// Unknown names make Solve return an error.
 	Algorithms []string
 	// Refine post-processes every candidate with local search.
 	Refine bool
 	// Workers bounds concurrency; 0 means GOMAXPROCS.
 	Workers int
+}
+
+// members maps each portfolio member name to its heuristic — the single
+// source of truth for valid names (ValidateAlgorithms and run both consult
+// it).
+var members = map[string]func(*hypergraph.Hypergraph, core.HyperOptions) core.HyperAssignment{
+	"SGH": core.SortedGreedyHyp,
+	"VGH": core.VectorGreedyHyp,
+	"EGH": core.ExpectedGreedyHyp,
+	"EVG": core.ExpectedVectorGreedyHyp,
 }
 
 // DefaultAlgorithms is the full portfolio in deterministic tie-break
@@ -39,33 +56,62 @@ type Result struct {
 	Assignment core.HyperAssignment
 	Winner     string
 	Makespan   int64
-	// Makespans per portfolio member (after refinement if enabled).
+	// Makespans per portfolio member (after refinement if enabled). On a
+	// deadline-bounded run only members that finished in time appear, so
+	// len(Makespans) < len(algorithms) signals a truncated race.
 	Makespans map[string]int64
+	// Incomplete reports that the context ended the race before every
+	// member reported; the result is the best of the members that did.
+	Incomplete bool
+	// MemberErrs records members that crashed (recovered panics) instead
+	// of producing a candidate; nil when none did. A crashed member does
+	// not make the result Incomplete.
+	MemberErrs map[string]error
 }
 
-func run(name string, h *hypergraph.Hypergraph) core.HyperAssignment {
-	switch name {
-	case "SGH":
-		return core.SortedGreedyHyp(h, core.HyperOptions{})
-	case "VGH":
-		return core.VectorGreedyHyp(h, core.HyperOptions{})
-	case "EGH":
-		return core.ExpectedGreedyHyp(h, core.HyperOptions{})
-	case "EVG":
-		return core.ExpectedVectorGreedyHyp(h, core.HyperOptions{})
-	default:
-		panic("portfolio: unknown algorithm " + name)
+func run(ctx context.Context, name string, h *hypergraph.Hypergraph, doRefine bool) core.HyperAssignment {
+	a := members[name](h, core.HyperOptions{})
+	if doRefine {
+		a = refine.RefineCtx(ctx, h, a, refine.Options{}).Assignment
 	}
+	return a
+}
+
+// ValidateAlgorithms rejects unknown member names up front so a bad
+// Options value is an error, not a crash deep inside a worker goroutine.
+// An empty list is valid and means the full default portfolio.
+func ValidateAlgorithms(algs []string) error {
+	for _, name := range algs {
+		if _, ok := members[name]; !ok {
+			return fmt.Errorf("portfolio: unknown algorithm %q (want one of %v)", name, DefaultAlgorithms)
+		}
+	}
+	return nil
 }
 
 // Solve runs the portfolio on h and returns the best schedule. Ties are
 // broken lexicographically by full descending load vector first (a
 // schedule with the same makespan but better-balanced tail wins), then by
-// portfolio order.
-func Solve(h *hypergraph.Hypergraph, opts Options) Result {
+// portfolio order. Unknown algorithm names in opts yield an error.
+func Solve(h *hypergraph.Hypergraph, opts Options) (Result, error) {
+	return SolveCtx(context.Background(), h, opts)
+}
+
+// SolveCtx is Solve racing a context: members run concurrently and, if ctx
+// is cancelled or its deadline expires before all of them finish, the best
+// candidate finished so far is returned with Result.Incomplete set. Queued
+// members never start after cancellation and the refinement stage observes
+// ctx; a heuristic already in flight runs to completion in the background
+// (the greedies themselves are not interruptible) but its result is simply
+// discarded. Only when the context expires before any member has produced
+// a candidate does SolveCtx give up and return ctx's error.
+func SolveCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (Result, error) {
 	algs := opts.Algorithms
 	if len(algs) == 0 {
 		algs = DefaultAlgorithms
+	}
+	if err := ValidateAlgorithms(algs); err != nil {
+		return Result{}, err
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -76,37 +122,98 @@ func Solve(h *hypergraph.Hypergraph, opts Options) Result {
 	}
 
 	type cand struct {
+		idx  int
 		name string
 		a    core.HyperAssignment
 		vec  []int64
 		m    int64
+		err  error
 	}
-	cands := make([]cand, len(algs))
+	ch := make(chan cand, len(algs))
 	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
 	for i, name := range algs {
-		wg.Add(1)
 		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			a := run(name, h)
-			if opts.Refine {
-				a = refine.Refine(h, a, refine.Options{}).Assignment
+			// Don't start work the caller has already given up on: a
+			// queued member whose turn comes after cancellation bails out
+			// (no send needed — the collector exits via ctx.Done).
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
 			}
+			defer func() { <-sem }()
+			// A malformed instance can blow up deep inside a heuristic;
+			// contain it to this member so the others still race.
+			defer func() {
+				if p := recover(); p != nil {
+					ch <- cand{idx: i, name: name, err: fmt.Errorf("portfolio: %s panicked: %v", name, p)}
+				}
+			}()
+			a := run(ctx, name, h, opts.Refine)
 			vec := loadvec.SortedDesc(core.HyperLoads(h, a))
 			m := int64(0)
 			if len(vec) > 0 {
 				m = vec[0]
 			}
-			cands[i] = cand{name: name, a: a, vec: vec, m: m}
+			ch <- cand{idx: i, name: name, a: a, vec: vec, m: m}
 		}(i, name)
 	}
-	wg.Wait()
 
+	cands := make([]cand, 0, len(algs))
+	var memberErrs map[string]error
+	var firstErr error
+	addErr := func(c cand) {
+		if memberErrs == nil {
+			memberErrs = make(map[string]error)
+		}
+		memberErrs[c.name] = c.err
+		if firstErr == nil {
+			firstErr = c.err
+		}
+	}
+	received := 0
+	done := ctx.Done()
+collect:
+	for received < len(algs) {
+		select {
+		case c := <-ch:
+			received++
+			if c.err != nil {
+				addErr(c)
+				continue
+			}
+			cands = append(cands, c)
+		case <-done:
+			// Deadline: drain whatever is already buffered, then judge.
+			for {
+				select {
+				case c := <-ch:
+					received++
+					if c.err != nil {
+						addErr(c)
+					} else {
+						cands = append(cands, c)
+					}
+				default:
+					break collect
+				}
+			}
+		}
+	}
+
+	if len(cands) == 0 {
+		if firstErr != nil {
+			return Result{}, fmt.Errorf("portfolio: no member finished: %w", firstErr)
+		}
+		return Result{}, fmt.Errorf("portfolio: no member finished: %w", ctx.Err())
+	}
+
+	// Judge deterministically: best load vector, ties by portfolio order —
+	// the arrival order of candidates must not matter.
 	best := 0
 	for i := 1; i < len(cands); i++ {
-		if loadvec.CompareVec(cands[i].vec, cands[best].vec) < 0 {
+		c := loadvec.CompareVec(cands[i].vec, cands[best].vec)
+		if c < 0 || (c == 0 && cands[i].idx < cands[best].idx) {
 			best = i
 		}
 	}
@@ -115,9 +222,13 @@ func Solve(h *hypergraph.Hypergraph, opts Options) Result {
 		Winner:     cands[best].name,
 		Makespan:   cands[best].m,
 		Makespans:  make(map[string]int64, len(cands)),
+		// received counts crashed members too, so a crash alone (with no
+		// context truncation) does not read as a timeout.
+		Incomplete: received < len(algs),
+		MemberErrs: memberErrs,
 	}
 	for _, c := range cands {
 		res.Makespans[c.name] = c.m
 	}
-	return res
+	return res, nil
 }

@@ -1,10 +1,14 @@
 package portfolio
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"semimatch/internal/core"
 	"semimatch/internal/hypergraph"
@@ -33,7 +37,10 @@ func TestPortfolioAtLeastAsGoodAsEveryMember(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		h := randomHyper(rng, 1+rng.Intn(40), 2+rng.Intn(8), 4, 4, 9)
-		res := Solve(h, Options{})
+		res, err := Solve(h, Options{})
+		if err != nil {
+			return false
+		}
 		if core.ValidateHyperAssignment(h, res.Assignment) != nil {
 			return false
 		}
@@ -55,8 +62,11 @@ func TestPortfolioAtLeastAsGoodAsEveryMember(t *testing.T) {
 func TestPortfolioDeterministicAcrossWorkerCounts(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	h := randomHyper(rng, 50, 8, 4, 4, 9)
-	r1 := Solve(h, Options{Workers: 1})
-	r4 := Solve(h, Options{Workers: 4})
+	r1, err1 := Solve(h, Options{Workers: 1})
+	r4, err4 := Solve(h, Options{Workers: 4})
+	if err1 != nil || err4 != nil {
+		t.Fatal(err1, err4)
+	}
 	if r1.Winner != r4.Winner || !reflect.DeepEqual(r1.Assignment, r4.Assignment) {
 		t.Fatalf("winner %q (1 worker) vs %q (4 workers)", r1.Winner, r4.Winner)
 	}
@@ -66,8 +76,14 @@ func TestPortfolioRefineNeverHurts(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 20; trial++ {
 		h := randomHyper(rng, 40, 6, 4, 3, 9)
-		plain := Solve(h, Options{})
-		refined := Solve(h, Options{Refine: true})
+		plain, err := Solve(h, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, err := Solve(h, Options{Refine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if refined.Makespan > plain.Makespan {
 			t.Fatalf("trial %d: refined %d worse than plain %d", trial, refined.Makespan, plain.Makespan)
 		}
@@ -77,7 +93,10 @@ func TestPortfolioRefineNeverHurts(t *testing.T) {
 func TestPortfolioSubset(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	h := randomHyper(rng, 30, 6, 3, 3, 5)
-	res := Solve(h, Options{Algorithms: []string{"SGH"}})
+	res, err := Solve(h, Options{Algorithms: []string{"SGH"}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Winner != "SGH" {
 		t.Fatalf("winner = %q", res.Winner)
 	}
@@ -97,7 +116,10 @@ func TestPortfolioTieBreaksByOrder(t *testing.T) {
 	b.AddEdge(0, []int{0}, 3)
 	b.AddEdge(1, []int{1}, 3)
 	h := b.MustBuild()
-	res := Solve(h, Options{})
+	res, err := Solve(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Winner != "SGH" {
 		t.Fatalf("tie should go to the first member, got %q", res.Winner)
 	}
@@ -108,6 +130,79 @@ func BenchmarkPortfolio(b *testing.B) {
 	h := randomHyper(rng, 5120, 256, 5, 10, 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Solve(h, Options{})
+		if _, err := Solve(h, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPortfolioUnknownAlgorithmIsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := randomHyper(rng, 10, 4, 3, 3, 5)
+	_, err := Solve(h, Options{Algorithms: []string{"SGH", "bogus"}})
+	if err == nil {
+		t.Fatal("unknown algorithm must be an error, not a panic")
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("error should name the offender: %v", err)
+	}
+}
+
+func TestPortfolioCtxExpiredBeforeAnyMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	h := randomHyper(rng, 10, 4, 3, 3, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// With a pre-cancelled context the race may still collect members that
+	// finish between launch and the first select; both outcomes are legal,
+	// but an error must wrap ctx.Err() and a result must be valid.
+	res, err := SolveCtx(ctx, h, Options{})
+	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", err)
+		}
+		return
+	}
+	if core.ValidateHyperAssignment(h, res.Assignment) != nil {
+		t.Fatal("invalid assignment from truncated race")
+	}
+}
+
+func TestPortfolioCtxDeadlineReturnsBestSoFar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := randomHyper(rng, 2000, 64, 5, 6, 50)
+	// A deadline long enough for the fast greedies but typically too short
+	// for every member to refine a 2000-task instance.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res, err := SolveCtx(ctx, h, Options{Refine: true})
+	if err != nil {
+		// All members timed out before producing anything: acceptable on a
+		// very slow machine, but the error must carry the deadline cause.
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v", err)
+		}
+		return
+	}
+	if err := core.ValidateHyperAssignment(h, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != core.HyperMakespan(h, res.Assignment) {
+		t.Fatal("reported makespan mismatch")
+	}
+	if len(res.Makespans) < len(DefaultAlgorithms) && !res.Incomplete {
+		t.Fatal("truncated league table must set Incomplete")
+	}
+}
+
+func TestPortfolioCtxBackgroundComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	h := randomHyper(rng, 50, 8, 4, 4, 9)
+	res, err := SolveCtx(context.Background(), h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete || len(res.Makespans) != len(DefaultAlgorithms) {
+		t.Fatalf("background run must be complete: %+v", res)
 	}
 }

@@ -15,6 +15,8 @@
 package refine
 
 import (
+	"context"
+
 	"semimatch/internal/core"
 	"semimatch/internal/hypergraph"
 	"semimatch/internal/loadvec"
@@ -34,13 +36,32 @@ type Result struct {
 	Rounds     int   // full passes over the task list
 	Before     int64 // makespan before
 	After      int64 // makespan after
+	// Interrupted reports that the context was cancelled before a local
+	// optimum was reached; the assignment is still valid and no worse than
+	// the input.
+	Interrupted bool
 }
+
+// ctxCheckInterval is how many task positions are examined between
+// context polls.
+const ctxCheckInterval = 64
 
 // Refine improves the assignment a on h by single-task moves. The input
 // assignment is not modified.
 func Refine(h *hypergraph.Hypergraph, a core.HyperAssignment, opts Options) Result {
+	return RefineCtx(context.Background(), h, a, opts)
+}
+
+// RefineCtx is Refine with cooperative cancellation: the local search
+// polls ctx as it scans the task list and stops early when ctx is
+// cancelled, returning the best assignment found so far with Interrupted
+// set. Every intermediate state is a valid schedule no worse than the
+// input, so an interrupted result is safe to use.
+func RefineCtx(ctx context.Context, h *hypergraph.Hypergraph, a core.HyperAssignment, opts Options) Result {
 	cur := append(core.HyperAssignment(nil), a...)
 	res := Result{Before: core.HyperMakespan(h, a)}
+	done := ctx.Done()
+	sinceCheck := 0
 
 	tr := loadvec.New[int64](h.NProcs)
 	procsAll := make([]int32, h.NProcs)
@@ -49,6 +70,7 @@ func Refine(h *hypergraph.Hypergraph, a core.HyperAssignment, opts Options) Resu
 	}
 	tr.SetAll(procsAll, core.HyperLoads(h, cur))
 
+scan:
 	for {
 		if opts.MaxRounds > 0 && res.Rounds >= opts.MaxRounds {
 			break
@@ -56,6 +78,18 @@ func Refine(h *hypergraph.Hypergraph, a core.HyperAssignment, opts Options) Resu
 		res.Rounds++
 		improved := false
 		for t := 0; t < h.NTasks; t++ {
+			if done != nil {
+				sinceCheck++
+				if sinceCheck >= ctxCheckInterval {
+					sinceCheck = 0
+					select {
+					case <-done:
+						res.Interrupted = true
+						break scan
+					default:
+					}
+				}
+			}
 			curEdge := cur[t]
 			// The "stay" candidate: identity move (no change).
 			edges := h.TaskEdges(t)

@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -147,5 +148,35 @@ func BenchmarkRefineAfterSGH(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Refine(h, a, Options{})
+	}
+}
+
+func TestRefineCtxCancelledStopsEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := randomHyper(rng, 500, 16, 5, 4, 50)
+	a := core.SortedGreedyHyp(h, core.HyperOptions{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := RefineCtx(ctx, h, a, Options{})
+	if !res.Interrupted {
+		t.Fatal("pre-cancelled context should interrupt the scan")
+	}
+	if err := core.ValidateHyperAssignment(h, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	if res.After > res.Before {
+		t.Fatalf("interrupted refine worsened: %d -> %d", res.Before, res.After)
+	}
+}
+
+func TestRefineCtxBackgroundMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	h := randomHyper(rng, 80, 8, 4, 3, 9)
+	a := core.SortedGreedyHyp(h, core.HyperOptions{})
+	plain := Refine(h, a, Options{})
+	withCtx := RefineCtx(context.Background(), h, a, Options{})
+	if plain.After != withCtx.After || plain.Moves != withCtx.Moves || withCtx.Interrupted {
+		t.Fatalf("plain %+v vs ctx %+v", plain, withCtx)
 	}
 }

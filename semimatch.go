@@ -1,9 +1,11 @@
 package semimatch
 
 import (
+	"context"
 	"io"
 
 	"semimatch/internal/adversarial"
+	"semimatch/internal/batch"
 	"semimatch/internal/bipartite"
 	"semimatch/internal/core"
 	"semimatch/internal/encode"
@@ -114,6 +116,11 @@ var LowerBound = core.LowerBound
 // search; it never increases the makespan.
 var Refine = refine.Refine
 
+// RefineCtx is Refine with cooperative cancellation: it stops at the next
+// context poll and returns the (valid, never worse) assignment found so
+// far with Interrupted set.
+var RefineCtx = refine.RefineCtx
+
 // RefineOptions bounds the local search.
 type RefineOptions = refine.Options
 
@@ -122,8 +129,13 @@ type RefineResult = refine.Result
 
 // Portfolio runs several heuristics concurrently (optionally refined) and
 // returns the best schedule — the practical entry point when no single
-// heuristic dominates.
+// heuristic dominates. Unknown algorithm names yield an error.
 var Portfolio = portfolio.Solve
+
+// PortfolioCtx is Portfolio racing a context: if the deadline expires
+// before every member finishes, the best candidate finished so far is
+// returned with Incomplete set.
+var PortfolioCtx = portfolio.SolveCtx
 
 // PortfolioOptions configures Portfolio.
 type PortfolioOptions = portfolio.Options
@@ -164,11 +176,49 @@ var (
 	SolveMultiProc  = exact.SolveMultiProc
 )
 
+// Context-aware variants: the search polls the context alongside the node
+// budget and, on cancellation, returns its incumbent (the best schedule
+// found so far) with an error wrapping ErrCancelled and ctx.Err().
+var (
+	SolveSingleProcCtx = exact.SolveSingleProcCtx
+	SolveMultiProcCtx  = exact.SolveMultiProcCtx
+)
+
 // BnBOptions bounds the branch-and-bound search.
 type BnBOptions = exact.Options
 
 // ErrLimit reports an exhausted branch-and-bound node budget.
 var ErrLimit = exact.ErrLimit
+
+// ErrCancelled reports a context cancelled mid-search; the accompanying
+// result is still a valid schedule, just not provably optimal.
+var ErrCancelled = exact.ErrCancelled
+
+// --- Batch solving ---
+
+// BatchOptions configures SolveBatch.
+type BatchOptions = batch.Options
+
+// BatchResult is the per-instance outcome of SolveBatch.
+type BatchResult = batch.Result
+
+// BatchRunner is a reusable batch solver (SolveBatch creates one per
+// call).
+type BatchRunner = batch.Runner
+
+// NewBatchRunner returns a reusable batch solver.
+func NewBatchRunner(opts BatchOptions) *BatchRunner { return batch.New(opts) }
+
+// SolveBatch solves many MULTIPROC instances on a worker pool spanning
+// GOMAXPROCS cores. Each instance runs the portfolio first, then — when
+// small enough — an exact branch-and-bound attempt, falling back to the
+// best schedule found so far on timeout. Failures are isolated per
+// instance (Result.Err); results are deterministic in the worker count.
+// Cancelling ctx stops the batch promptly, returning partial results
+// alongside the context's error.
+func SolveBatch(ctx context.Context, instances []*Hypergraph, opts BatchOptions) ([]BatchResult, error) {
+	return batch.New(opts).Run(ctx, instances)
+}
 
 // --- Generators (Sec. V-A) ---
 

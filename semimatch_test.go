@@ -2,6 +2,8 @@ package semimatch_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -136,7 +138,10 @@ func TestExtensionsThroughFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Portfolio beats or ties every member, and refinement never hurts.
-	res := semimatch.Portfolio(h, semimatch.PortfolioOptions{Refine: true})
+	res, err := semimatch.Portfolio(h, semimatch.PortfolioOptions{Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := semimatch.ValidateHyperAssignment(h, res.Assignment); err != nil {
 		t.Fatal(err)
 	}
@@ -200,5 +205,55 @@ func TestAdversarialThroughFacade(t *testing.T) {
 	}
 	if m != 1 {
 		t.Fatalf("trivial X3C optimal = %d", m)
+	}
+}
+
+// TestBatchAndContextFacade exercises the context-aware entry points
+// through the public API: SolveBatch over a generated workload, and a
+// cancelled branch-and-bound returning its incumbent with ErrCancelled.
+func TestBatchAndContextFacade(t *testing.T) {
+	var instances []*semimatch.Hypergraph
+	for seed := int64(1); seed <= 8; seed++ {
+		h, err := semimatch.GenerateHypergraph(semimatch.HyperParams{
+			Gen: semimatch.FewgManyg, N: 60, P: 8, Dv: 3, Dh: 4, G: 4,
+			Weights: semimatch.Related,
+		}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, h)
+	}
+	results, err := semimatch.SolveBatch(context.Background(), instances, semimatch.BatchOptions{Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("instance %d: %v", i, r.Err)
+		}
+		if err := semimatch.ValidateHyperAssignment(instances[i], r.Assignment); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if lb := semimatch.LowerBound(instances[i]); r.Makespan < lb {
+			t.Fatalf("instance %d: makespan %d below LB %d", i, r.Makespan, lb)
+		}
+	}
+
+	// A cancelled context surfaces ErrCancelled but still yields a valid
+	// incumbent schedule.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, m, err := semimatch.SolveMultiProcCtx(ctx, instances[0], semimatch.BnBOptions{})
+	if err == nil {
+		t.Skip("solved before the first context poll")
+	}
+	if !errors.Is(err, semimatch.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if err := semimatch.ValidateHyperAssignment(instances[0], a); err != nil {
+		t.Fatal(err)
+	}
+	if semimatch.HyperMakespan(instances[0], a) != m {
+		t.Fatal("incumbent makespan mismatch")
 	}
 }
