@@ -1,0 +1,80 @@
+// Command semibench regenerates the paper's evaluation tables. Experiment
+// jobs — one generated instance each — are sharded across all cores by the
+// batch worker pool, so wall-clock time drops roughly linearly with the
+// core count. Algorithm columns resolve through the solver registry; use
+// -list-algorithms to see the catalog and -alg to restrict columns.
+//
+// Usage:
+//
+//	semibench -table 1            # Table I: instance statistics
+//	semibench -table 2            # Table II: MULTIPROC-UNIT quality
+//	semibench -table 3            # Table III: related weights
+//	semibench -table 8            # TR Table 8: random weights
+//	semibench -table sp           # SINGLEPROC tables (Sec. V-B), d=10
+//	semibench -table sp -d 2      # ... other degree parameters
+//	semibench -table all          # everything
+//	semibench -quick              # reduced grid (3 seeds, 2 sizes)
+//	semibench -seeds 5 -workers 1 # methodology knobs
+//	semibench -timeout 30s        # abort cleanly when the budget expires
+//	semibench -naive              # naive vector heuristics (ablation)
+//	semibench -alg SGH,EVG        # restrict algorithm columns
+//	semibench -list-algorithms    # print the solver catalog and exit
+//	semibench -table 2 -json      # machine-readable output
+//
+// # JSON output
+//
+// With -json, semibench emits one newline-delimited JSON object per table
+// instead of the text rendering — the format consumed by the BENCH_*.json
+// quality/time trajectories. MULTIPROC tables (1, 2, 3, 8) have this
+// schema:
+//
+//	{
+//	  "table": "2",                    // which table produced the object
+//	  "kind": "multiproc",
+//	  "weights": "unit",               // unit | related | random
+//	  "algorithms": ["SGH", "VGH", "EGH", "EVG"],   // column order
+//	  "rows": [
+//	    {
+//	      "instance": "FG-5-1-MP",     // family-size name, Table I style
+//	      "v1": 1280, "v2": 256,       // tasks, processors
+//	      "edges": 6400, "pins": 32000,// median |N|, median Σ|h∩V2|
+//	      "lb": 125,                   // median Eq. (1) lower bound
+//	      "quality": {"SGH": 1.02},    // median makespan/LB per algorithm
+//	      "time_s": {"SGH": 0.004}     // mean wall-clock seconds
+//	    }
+//	  ],
+//	  "avg_quality": {"SGH": 1.03},    // table-wide means
+//	  "avg_time_s": {"SGH": 0.006}
+//	}
+//
+// SINGLEPROC tables ("sp") replace weights with the generator parameters
+// and measure quality against the exact optimum:
+//
+//	{
+//	  "table": "sp",
+//	  "kind": "singleproc",
+//	  "generator": "FewgManyg",        // FewgManyg | HiLo
+//	  "d": 10, "g": 32,                // degree and group parameters
+//	  "algorithms": ["basic", "sorted", "double", "expected"],
+//	  "rows": [
+//	    {
+//	      "instance": "FG-5-1-d10-g32",
+//	      "v1": 1280, "v2": 256, "edges": 12800,
+//	      "opt": 5,                    // median optimal makespan
+//	      "exact_time_s": 0.01,        // mean exact-solver runtime
+//	      "quality": {"basic": 1.2},   // median makespan/OPT per algorithm
+//	      "time_s": {"basic": 0.001}
+//	    }
+//	  ],
+//	  "avg_quality": {"basic": 1.18},
+//	  "avg_time_s": {"basic": 0.001}
+//	}
+//
+// The fig3 worst-case scaling view is emitted as:
+//
+//	{"table": "fig3", "kind": "adversarial", "rows": [
+//	  {"k": 3, "tasks": 15, "procs": 8, "basic": 3, "sorted": 3,
+//	   "double": 2, "expected": 2, "optimal": 1, "online_ratio": 3.0,
+//	   "exact_time_s": 0.001}
+//	]}
+package main

@@ -1,21 +1,3 @@
-// Command semibench regenerates the paper's evaluation tables. Experiment
-// jobs — one generated instance each — are sharded across all cores by the
-// batch worker pool, so wall-clock time drops roughly linearly with the
-// core count.
-//
-// Usage:
-//
-//	semibench -table 1            # Table I: instance statistics
-//	semibench -table 2            # Table II: MULTIPROC-UNIT quality
-//	semibench -table 3            # Table III: related weights
-//	semibench -table 8            # TR Table 8: random weights
-//	semibench -table sp           # SINGLEPROC tables (Sec. V-B), d=10
-//	semibench -table sp -d 2      # ... other degree parameters
-//	semibench -table all          # everything
-//	semibench -quick              # reduced grid (3 seeds, 2 sizes)
-//	semibench -seeds 5 -workers 1 # methodology knobs
-//	semibench -timeout 30s        # abort cleanly when the budget expires
-//	semibench -naive              # naive vector heuristics (ablation)
 package main
 
 import (
@@ -24,22 +6,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"semimatch/internal/bench"
 	"semimatch/internal/gen"
+	"semimatch/internal/registry"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to run: 1, 2, 3, 8, sp, all")
+	table := flag.String("table", "all", "which table to run: 1, 2, 3, 8, sp, fig3, all")
 	quick := flag.Bool("quick", false, "reduced grid: 2 sizes, 3 seeds")
 	seeds := flag.Int("seeds", 0, "instances per parameter set (default 10, paper's setting)")
 	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS; 1 for timing-grade runs)")
 	naive := flag.Bool("naive", false, "use the naive O(p log p) vector heuristics (ablation)")
 	d := flag.Int("d", 10, "degree parameter for SINGLEPROC tables")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+	algs := flag.String("alg", "", "comma-separated algorithm columns (default: the registry's heuristic lineup)")
+	jsonOut := flag.Bool("json", false, "emit newline-delimited JSON objects instead of text tables (schema in doc.go)")
+	list := flag.Bool("list-algorithms", false, "print the solver catalog and exit")
 	flag.Parse()
 
+	if *list {
+		fmt.Print(registry.FormatCatalog())
+		return
+	}
+
 	opts := bench.Options{Quick: *quick, Seeds: *seeds, Workers: *workers, Naive: *naive}
+	if *algs != "" {
+		for _, a := range strings.Split(*algs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				opts.Algorithms = append(opts.Algorithms, a)
+			}
+		}
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -63,53 +62,47 @@ func main() {
 
 	want := func(t string) bool { return *table == t || *table == "all" }
 
-	if want("1") {
-		run("table 1", func() error {
-			res, err := bench.RunHyperTable(ctx, gen.Unit, opts)
-			if err != nil {
-				return err
+	// hyperTable runs one MULTIPROC table and renders it as text or JSON.
+	// Results are memoized per weight scheme: with -table all, Tables I
+	// and II are two views of the same Unit-weights experiment grid, which
+	// only needs computing once.
+	hyperCache := map[gen.WeightScheme]*bench.HyperResult{}
+	hyperTable := func(label string, weights gen.WeightScheme, heading string, statsView bool) {
+		run("table "+label, func() error {
+			res, ok := hyperCache[weights]
+			if !ok {
+				var err error
+				res, err = bench.RunHyperTable(ctx, weights, opts)
+				if err != nil {
+					return err
+				}
+				hyperCache[weights] = res
 			}
-			fmt.Println("== Table I: random hypergraph instances ==")
-			fmt.Print(bench.FormatHyperStats(res))
+			if *jsonOut {
+				return bench.WriteJSON(os.Stdout, res.JSON(label))
+			}
+			fmt.Println(heading)
+			if statsView {
+				fmt.Print(bench.FormatHyperStats(res))
+			} else {
+				fmt.Print(bench.FormatHyperTable(res))
+			}
 			fmt.Println()
 			return nil
 		})
+	}
+
+	if want("1") {
+		hyperTable("1", gen.Unit, "== Table I: random hypergraph instances ==", true)
 	}
 	if want("2") {
-		run("table 2", func() error {
-			res, err := bench.RunHyperTable(ctx, gen.Unit, opts)
-			if err != nil {
-				return err
-			}
-			fmt.Println("== Table II: MULTIPROC-UNIT quality vs LB ==")
-			fmt.Print(bench.FormatHyperTable(res))
-			fmt.Println()
-			return nil
-		})
+		hyperTable("2", gen.Unit, "== Table II: MULTIPROC-UNIT quality vs LB ==", false)
 	}
 	if want("3") {
-		run("table 3", func() error {
-			res, err := bench.RunHyperTable(ctx, gen.Related, opts)
-			if err != nil {
-				return err
-			}
-			fmt.Println("== Table III: MULTIPROC related-weights quality vs LB ==")
-			fmt.Print(bench.FormatHyperTable(res))
-			fmt.Println()
-			return nil
-		})
+		hyperTable("3", gen.Related, "== Table III: MULTIPROC related-weights quality vs LB ==", false)
 	}
 	if want("8") {
-		run("table 8", func() error {
-			res, err := bench.RunHyperTable(ctx, gen.Random, opts)
-			if err != nil {
-				return err
-			}
-			fmt.Println("== TR Table 8: MULTIPROC random-weights quality vs LB ==")
-			fmt.Print(bench.FormatHyperTable(res))
-			fmt.Println()
-			return nil
-		})
+		hyperTable("8", gen.Random, "== TR Table 8: MULTIPROC random-weights quality vs LB ==", false)
 	}
 	if want("fig3") {
 		run("fig3", func() error {
@@ -117,8 +110,12 @@ func main() {
 			if *quick {
 				maxK = 8
 			}
+			rows := bench.RunAdversarial(maxK)
+			if *jsonOut {
+				return bench.WriteJSON(os.Stdout, bench.AdversarialJSON(rows))
+			}
 			fmt.Println("== Fig. 3: Chain(k) worst-case scaling ==")
-			fmt.Print(bench.FormatAdversarial(bench.RunAdversarial(maxK)))
+			fmt.Print(bench.FormatAdversarial(rows))
 			fmt.Println()
 			return nil
 		})
@@ -131,6 +128,9 @@ func main() {
 					res, err := bench.RunSingleProc(ctx, generator, *d, g, opts)
 					if err != nil {
 						return err
+					}
+					if *jsonOut {
+						return bench.WriteJSON(os.Stdout, res.JSON())
 					}
 					fmt.Printf("== SINGLEPROC-UNIT: %s, d=%d, g=%d ==\n", generator, *d, g)
 					fmt.Print(bench.FormatSPTable(res))

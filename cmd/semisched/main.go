@@ -8,7 +8,9 @@
 //	semisched -alg portfolio -refine -gantt instance.json
 //	semisched -alg exact instance.json       # branch and bound, small inputs
 //
-// Algorithms: sgh, egh, vgh, evg, exact, portfolio.
+// Algorithms: any registered MULTIPROC solver name or alias (sgh, egh,
+// vgh, evg, exact, ...; see `semisolve -list-algorithms`), plus the
+// special name "portfolio" which races the registry's heuristic lineup.
 package main
 
 import (
@@ -23,7 +25,7 @@ import (
 )
 
 func main() {
-	alg := flag.String("alg", "portfolio", "algorithm: sgh, egh, vgh, evg, exact, portfolio")
+	alg := flag.String("alg", "portfolio", "algorithm name or alias, or \"portfolio\"")
 	doRefine := flag.Bool("refine", false, "post-process with local search")
 	gantt := flag.Bool("gantt", false, "print a Gantt chart to stderr")
 	flag.Parse()
@@ -43,24 +45,15 @@ func main() {
 
 	var s *sched.Schedule
 	label := *alg
-	switch *alg {
-	case "sgh":
-		s, err = sched.Solve(in, sched.SortedGreedy)
-	case "egh":
-		s, err = sched.Solve(in, sched.ExpectedGreedy)
-	case "vgh":
-		s, err = sched.Solve(in, sched.VectorGreedy)
-	case "evg":
-		s, err = sched.Solve(in, sched.ExpectedVectorGreedy)
-	case "exact":
-		s, err = sched.Solve(in, sched.Exact)
-	case "portfolio":
+	if *alg == "portfolio" {
 		s, err = solvePortfolio(in, *doRefine)
 		if err == nil {
 			label = fmt.Sprintf("portfolio(refine=%v)", *doRefine)
 		}
-	default:
-		fail(fmt.Errorf("unknown algorithm %q", *alg))
+	} else {
+		// Any registered MULTIPROC solver works; unknown names get the
+		// registry's suggested-names error.
+		s, err = sched.SolveByName(in, *alg)
 	}
 	if err != nil {
 		fail(err)

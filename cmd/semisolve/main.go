@@ -1,18 +1,18 @@
 // Command semisolve reads an instance file (bipartite or hypergraph,
-// auto-detected) and schedules it.
+// auto-detected) and schedules it. Algorithms resolve through the solver
+// registry: any name or alias printed by -list-algorithms works, and the
+// class is picked from the detected instance kind.
 //
 // Usage:
 //
+//	semisolve -list-algorithms
 //	semisolve -alg evg instance.txt
 //	semisolve -alg exact -show-loads sp.txt
-//
-// Bipartite algorithms: basic, sorted, double, expected, exact (unit
-// graphs), harvey (unit graphs), bnb.
-// Hypergraph algorithms: sgh, vgh, egh, evg, bnb.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,18 +21,23 @@ import (
 	"semimatch/internal/bipartite"
 	"semimatch/internal/core"
 	"semimatch/internal/encode"
-	"semimatch/internal/exact"
 	"semimatch/internal/hypergraph"
 	"semimatch/internal/refine"
+	"semimatch/internal/registry"
 )
 
 func main() {
-	alg := flag.String("alg", "evg", "algorithm (see doc comment)")
+	alg := flag.String("alg", "evg", "algorithm name or alias (see -list-algorithms)")
+	list := flag.Bool("list-algorithms", false, "print the solver catalog and exit")
 	showLoads := flag.Bool("show-loads", false, "print the per-processor loads")
 	doRefine := flag.Bool("refine", false, "post-process hypergraph schedules with local search")
 	flag.Parse()
+	if *list {
+		fmt.Print(registry.FormatCatalog())
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: semisolve [-alg name] [-show-loads] <instance-file>")
+		fmt.Fprintln(os.Stderr, "usage: semisolve [-alg name] [-show-loads] [-list-algorithms] <instance-file>")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
@@ -65,31 +70,12 @@ func fail(err error) {
 }
 
 func solveBipartite(g *bipartite.Graph, alg string, showLoads bool) {
-	start := time.Now()
-	var a core.Assignment
-	var err error
-	optimal := false
-	switch alg {
-	case "basic":
-		a = core.BasicGreedy(g, core.GreedyOptions{})
-	case "sorted":
-		a = core.SortedGreedy(g, core.GreedyOptions{})
-	case "double":
-		a = core.DoubleSorted(g, core.GreedyOptions{})
-	case "expected":
-		a = core.ExpectedGreedy(g, core.GreedyOptions{})
-	case "exact":
-		a, _, err = core.ExactUnit(g, core.ExactOptions{})
-		optimal = true
-	case "harvey":
-		a, err = core.HarveyOptimal(g)
-		optimal = true
-	case "bnb":
-		a, _, err = exact.SolveSingleProc(g, exact.Options{})
-		optimal = true
-	default:
-		fail(fmt.Errorf("unknown bipartite algorithm %q", alg))
+	sol, err := registry.LookupClass(registry.SingleProc, alg)
+	if err != nil {
+		fail(err)
 	}
+	start := time.Now()
+	a, err := sol.SolveSingle(context.Background(), g, registry.Options{})
 	if err != nil {
 		fail(err)
 	}
@@ -98,33 +84,20 @@ func solveBipartite(g *bipartite.Graph, alg string, showLoads bool) {
 		fail(err)
 	}
 	fmt.Printf("instance: bipartite, %d tasks, %d processors, %d edges\n", g.NLeft, g.NRight, g.NumEdges())
-	fmt.Printf("algorithm: %s (%.3fs)\n", alg, elapsed.Seconds())
-	fmt.Printf("makespan: %d%s\n", core.Makespan(g, a), optMark(optimal))
+	fmt.Printf("algorithm: %s (%.3fs)\n", sol.Name, elapsed.Seconds())
+	fmt.Printf("makespan: %d%s\n", core.Makespan(g, a), optMark(sol.Optimal()))
 	if showLoads {
 		printLoads(core.Loads(g, a))
 	}
 }
 
 func solveHyper(h *hypergraph.Hypergraph, alg string, showLoads, doRefine bool) {
-	start := time.Now()
-	var a core.HyperAssignment
-	var err error
-	optimal := false
-	switch alg {
-	case "sgh":
-		a = core.SortedGreedyHyp(h, core.HyperOptions{})
-	case "vgh":
-		a = core.VectorGreedyHyp(h, core.HyperOptions{})
-	case "egh":
-		a = core.ExpectedGreedyHyp(h, core.HyperOptions{})
-	case "evg":
-		a = core.ExpectedVectorGreedyHyp(h, core.HyperOptions{})
-	case "bnb":
-		a, _, err = exact.SolveMultiProc(h, exact.Options{})
-		optimal = true
-	default:
-		fail(fmt.Errorf("unknown hypergraph algorithm %q", alg))
+	sol, err := registry.LookupClass(registry.MultiProc, alg)
+	if err != nil {
+		fail(err)
 	}
+	start := time.Now()
+	a, err := sol.SolveHyper(context.Background(), h, registry.Options{})
 	if err != nil {
 		fail(err)
 	}
@@ -142,9 +115,9 @@ func solveHyper(h *hypergraph.Hypergraph, alg string, showLoads, doRefine bool) 
 	m := core.HyperMakespan(h, a)
 	fmt.Printf("instance: hypergraph, %d tasks, %d processors, %d hyperedges, %d pins\n",
 		h.NTasks, h.NProcs, h.NumEdges(), h.NumPins())
-	fmt.Printf("algorithm: %s (%.3fs)\n", alg, elapsed.Seconds())
+	fmt.Printf("algorithm: %s (%.3fs)\n", sol.Name, elapsed.Seconds())
 	fmt.Printf("makespan: %d%s, lower bound: %d, ratio: %.3f\n",
-		m, optMark(optimal), lb, float64(m)/float64(lb))
+		m, optMark(sol.Optimal()), lb, float64(m)/float64(lb))
 	if showLoads {
 		printLoads(core.HyperLoads(h, a))
 	}

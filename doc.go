@@ -31,6 +31,9 @@
 //     and an experiment harness regenerating every table of the paper.
 //   - A context-aware batch-solving layer that shards many instances
 //     across all cores.
+//   - A capability-aware solver registry: every algorithm is one
+//     self-describing catalog entry, and Solvers() / LookupSolver()
+//     expose the catalog for discovery.
 //
 // # Quick start
 //
@@ -66,6 +69,20 @@
 // exact branch-and-bound attempt that can prove optimality, falling back
 // to the best schedule found when a budget expires. Results are
 // deterministic in the worker count.
+//
+// # Solver discovery
+//
+// Every algorithm is registered once in a central solver registry with
+// its capability metadata — problem class (SINGLEPROC/MULTIPROC), kind
+// (heuristic/exact/online) and cost class. Portfolio membership, the
+// benchmark tables, Solve's Algorithm enum and SolveBatch's exact-attempt
+// policy all resolve through it:
+//
+//	for _, s := range semimatch.Solvers() {
+//	    fmt.Println(s.Name, s.Class, s.Kind, s.Cost)
+//	}
+//	sol, err := semimatch.LookupSolver("evg")       // aliases work
+//	a, err := sol.SolveHyper(ctx, h, semimatch.SolverOptions{})
 //
 // See examples/ for runnable programs and cmd/semibench for the
 // experiment harness.

@@ -31,6 +31,7 @@ import (
 	"semimatch/internal/exact"
 	"semimatch/internal/hypergraph"
 	"semimatch/internal/portfolio"
+	"semimatch/internal/registry"
 )
 
 // Defaults for the exact-solve stage of the per-instance policy.
@@ -93,9 +94,9 @@ type Result struct {
 	Assignment core.HyperAssignment
 	Makespan   int64
 	// Source names what produced the schedule: a portfolio member
-	// ("SGH", ...), "exact" (proven optimal), or "exact-incumbent" (a
-	// budget- or deadline-truncated branch-and-bound that still beat the
-	// portfolio).
+	// ("SGH", ...), the exact solver's registry name ("BnB-MP", proven
+	// optimal), or that name suffixed "-incumbent" (a budget- or
+	// deadline-truncated run that still beat the portfolio).
 	Source string
 	// Optimal reports that the exact stage proved this schedule optimal.
 	Optimal bool
@@ -109,10 +110,21 @@ type Result struct {
 // Runner is a reusable batch solver.
 type Runner struct {
 	opts Options
+	// exactSolver is the solver the exact-attempt stage uses, chosen from
+	// the registry by capability (kind Exact for MULTIPROC, cheapest cost
+	// class first); nil when the catalog has none, which disables the
+	// stage.
+	exactSolver *registry.Solver
 }
 
 // New returns a Runner with the given options.
-func New(opts Options) *Runner { return &Runner{opts: opts} }
+func New(opts Options) *Runner {
+	r := &Runner{opts: opts}
+	if exacts := registry.Find(registry.MultiProc, registry.Exact); len(exacts) > 0 {
+		r.exactSolver = exacts[0]
+	}
+	return r
+}
 
 // Run solves every instance and returns one Result per instance, in input
 // order. A configuration error (unknown portfolio algorithm) fails the
@@ -172,22 +184,31 @@ func (r *Runner) solveOne(ctx context.Context, h *hypergraph.Hypergraph) (res Re
 	}
 	res = Result{Assignment: pres.Assignment, Makespan: pres.Makespan, Source: pres.Winner}
 
-	// Stage 2: exact, for small instances with budget left.
-	if lim := r.opts.exactTaskLimit(); lim > 0 && h.NTasks <= lim && ictx.Err() == nil {
-		a, m, exErr := exact.SolveMultiProcCtx(ictx, h, exact.Options{MaxNodes: r.opts.exactNodes()})
+	// Stage 2: exact, for small instances with budget left. The solver
+	// comes from the registry's capability metadata, not a hardcoded
+	// import: whichever exact MULTIPROC solver is registered (cheapest
+	// cost class first) gets the attempt.
+	if lim := r.opts.exactTaskLimit(); r.exactSolver != nil && lim > 0 && h.NTasks <= lim && ictx.Err() == nil {
+		a, exErr := r.exactSolver.SolveHyper(ictx, h, registry.Options{
+			BnB: exact.Options{MaxNodes: r.opts.exactNodes()},
+		})
+		var m int64
+		if a != nil {
+			m = core.HyperMakespan(h, a)
+		}
 		switch {
 		case exErr == nil:
 			// Proven optimal. Prefer the portfolio schedule on a tie so
 			// the refined load vector survives.
 			if m < res.Makespan {
-				res.Assignment, res.Makespan, res.Source = a, m, "exact"
+				res.Assignment, res.Makespan, res.Source = a, m, r.exactSolver.Name
 			}
 			res.Optimal = true
-		case errors.Is(exErr, exact.ErrLimit) || errors.Is(exErr, exact.ErrCancelled):
+		case a != nil && registry.IncumbentError(exErr):
 			// Stage 3, fallback: the truncated search still returns its
 			// incumbent, which may beat the portfolio.
 			if m < res.Makespan {
-				res.Assignment, res.Makespan, res.Source = a, m, "exact-incumbent"
+				res.Assignment, res.Makespan, res.Source = a, m, r.exactSolver.Name+"-incumbent"
 			}
 		default:
 			// Structural errors (no processors, isolated task) would have

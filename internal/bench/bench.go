@@ -26,10 +26,9 @@ import (
 	"time"
 
 	"semimatch/internal/batch"
-	"semimatch/internal/bipartite"
 	"semimatch/internal/core"
 	"semimatch/internal/gen"
-	"semimatch/internal/hypergraph"
+	"semimatch/internal/registry"
 	"semimatch/internal/stats"
 )
 
@@ -48,6 +47,11 @@ type Options struct {
 	Naive bool
 	// SizesOverride replaces the size grid entirely (tests, custom runs).
 	SizesOverride []SizeRow
+	// Algorithms replaces the default table columns. Names resolve
+	// through the solver registry for the table's problem class; an
+	// unknown name fails the run with a suggested-names error instead of
+	// panicking.
+	Algorithms []string
 }
 
 func (o Options) seeds() int {
@@ -119,22 +123,19 @@ var Families = []Family{
 	{"HLM", gen.HiLo, 128},
 }
 
-// HyperAlgorithms is the fixed algorithm order of Tables II/III.
-var HyperAlgorithms = []string{"SGH", "VGH", "EGH", "EVG"}
+// HyperAlgorithms is the fixed algorithm order of Tables II/III — the
+// registry's MULTIPROC heuristic lineup.
+var HyperAlgorithms = registry.Names(registry.Heuristics(registry.MultiProc))
 
-func runHyperAlgorithm(name string, h *hypergraph.Hypergraph, opts core.HyperOptions) core.HyperAssignment {
-	switch name {
-	case "SGH":
-		return core.SortedGreedyHyp(h, opts)
-	case "VGH":
-		return core.VectorGreedyHyp(h, opts)
-	case "EGH":
-		return core.ExpectedGreedyHyp(h, opts)
-	case "EVG":
-		return core.ExpectedVectorGreedyHyp(h, opts)
-	default:
-		panic("bench: unknown hypergraph algorithm " + name)
+// resolveAlgorithms maps table column names to registry solvers and their
+// canonical names; unknown names yield the registry's suggested-names
+// error rather than a panic deep inside a worker.
+func resolveAlgorithms(class registry.Class, names, def []string) ([]string, []*registry.Solver, error) {
+	algs, sols, err := registry.ResolveClass(class, names, def)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: %w", err)
 	}
+	return algs, sols, nil
 }
 
 // HyperRow is one instance row of Tables I/II/III (a family × size point,
@@ -153,9 +154,12 @@ type HyperRow struct {
 // paper prints at the bottom.
 type HyperResult struct {
 	Weights gen.WeightScheme
-	Rows    []HyperRow
-	AvgQual map[string]float64
-	AvgTime map[string]time.Duration
+	// Algorithms is the column order of the run (canonical registry
+	// names) — HyperAlgorithms unless Options.Algorithms overrode it.
+	Algorithms []string
+	Rows       []HyperRow
+	AvgQual    map[string]float64
+	AvgTime    map[string]time.Duration
 }
 
 // RunHyperTable regenerates Table II (Unit), Table III (Related) or the TR
@@ -164,6 +168,10 @@ type HyperResult struct {
 // cancelled context aborts the run and returns its error.
 func RunHyperTable(ctx context.Context, weights gen.WeightScheme, o Options) (*HyperResult, error) {
 	const dv, dh = 5, 10 // the parameter choice detailed in the paper
+	algs, sols, err := resolveAlgorithms(registry.MultiProc, o.Algorithms, HyperAlgorithms)
+	if err != nil {
+		return nil, err
+	}
 	type job struct {
 		famIdx, sizeIdx, seed int
 	}
@@ -185,7 +193,7 @@ func RunHyperTable(ctx context.Context, weights gen.WeightScheme, o Options) (*H
 	results := make(map[[2]int][]obs)
 	var mu sync.Mutex
 
-	err := batch.ForEach(ctx, o.workers(), len(jobs), func(ctx context.Context, i int) error {
+	err = batch.ForEach(ctx, o.workers(), len(jobs), func(ctx context.Context, i int) error {
 		j := jobs[i]
 		fam, size := Families[j.famIdx], sizes[j.sizeIdx]
 		h, err := gen.Hypergraph(gen.HyperParams{
@@ -202,9 +210,14 @@ func RunHyperTable(ctx context.Context, weights gen.WeightScheme, o Options) (*H
 			ratio:    map[string]float64{},
 			times:    map[string]time.Duration{},
 		}
-		for _, name := range HyperAlgorithms {
+		for ai, name := range algs {
 			start := time.Now()
-			a := runHyperAlgorithm(name, h, core.HyperOptions{Naive: o.Naive})
+			a, err := sols[ai].SolveHyper(ctx, h, registry.Options{Hyper: core.HyperOptions{Naive: o.Naive}})
+			// A budget-truncated exact column still reports its incumbent's
+			// quality; anything else fails the run.
+			if err != nil && (a == nil || !registry.IncumbentError(err)) {
+				return fmt.Errorf("bench: %s on seed %d: %w", name, j.seed, err)
+			}
 			ob.times[name] = time.Since(start)
 			m := core.HyperMakespan(h, a)
 			ob.ratio[name] = float64(m) / float64(ob.lb)
@@ -220,9 +233,10 @@ func RunHyperTable(ctx context.Context, weights gen.WeightScheme, o Options) (*H
 	}
 
 	res := &HyperResult{
-		Weights: weights,
-		AvgQual: map[string]float64{},
-		AvgTime: map[string]time.Duration{},
+		Weights:    weights,
+		Algorithms: algs,
+		AvgQual:    map[string]float64{},
+		AvgTime:    map[string]time.Duration{},
 	}
 	var allRatios = map[string][]float64{}
 	var allTimes = map[string][]float64{}
@@ -249,7 +263,7 @@ func RunHyperTable(ctx context.Context, weights gen.WeightScheme, o Options) (*H
 			row.NumEdges = stats.MedianInt(edges)
 			row.NumPins = stats.MedianInt(pins)
 			row.LB = stats.Median(lbs)
-			for _, name := range HyperAlgorithms {
+			for _, name := range algs {
 				var rs, ts []float64
 				for _, ob := range obsList {
 					rs = append(rs, ob.ratio[name])
@@ -263,7 +277,7 @@ func RunHyperTable(ctx context.Context, weights gen.WeightScheme, o Options) (*H
 			res.Rows = append(res.Rows, row)
 		}
 	}
-	for _, name := range HyperAlgorithms {
+	for _, name := range algs {
 		res.AvgQual[name] = stats.Mean(allRatios[name])
 		res.AvgTime[name] = time.Duration(stats.Mean(allTimes[name]) * float64(time.Second))
 	}
@@ -297,24 +311,24 @@ func FormatHyperStats(res *HyperResult) string {
 func FormatHyperTable(res *HyperResult) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-16s %8s", "Instance", "LB")
-	for _, a := range HyperAlgorithms {
+	for _, a := range res.Algorithms {
 		fmt.Fprintf(&sb, " %6s", a)
 	}
 	sb.WriteByte('\n')
 	for _, r := range res.Rows {
 		fmt.Fprintf(&sb, "%-16s %8.0f", r.Name, r.LB)
-		for _, a := range HyperAlgorithms {
+		for _, a := range res.Algorithms {
 			fmt.Fprintf(&sb, " %6.2f", r.Quality[a])
 		}
 		sb.WriteByte('\n')
 	}
 	fmt.Fprintf(&sb, "%-16s %8s", "Average quality", "")
-	for _, a := range HyperAlgorithms {
+	for _, a := range res.Algorithms {
 		fmt.Fprintf(&sb, " %6.2f", res.AvgQual[a])
 	}
 	sb.WriteByte('\n')
 	fmt.Fprintf(&sb, "%-16s %8s", "Average time (s)", "")
-	for _, a := range HyperAlgorithms {
+	for _, a := range res.Algorithms {
 		fmt.Fprintf(&sb, " %6.3f", res.AvgTime[a].Seconds())
 	}
 	sb.WriteByte('\n')
@@ -323,23 +337,9 @@ func FormatHyperTable(res *HyperResult) string {
 
 // --- SINGLEPROC experiments (Sec. V-B) ---
 
-// SPAlgorithms is the fixed algorithm order of the SINGLEPROC tables.
-var SPAlgorithms = []string{"basic", "sorted", "double", "expected"}
-
-func runSPAlgorithm(name string, g *bipartite.Graph) core.Assignment {
-	switch name {
-	case "basic":
-		return core.BasicGreedy(g, core.GreedyOptions{})
-	case "sorted":
-		return core.SortedGreedy(g, core.GreedyOptions{})
-	case "double":
-		return core.DoubleSorted(g, core.GreedyOptions{})
-	case "expected":
-		return core.ExpectedGreedy(g, core.GreedyOptions{})
-	default:
-		panic("bench: unknown SINGLEPROC algorithm " + name)
-	}
-}
+// SPAlgorithms is the fixed algorithm order of the SINGLEPROC tables —
+// the registry's SINGLEPROC heuristic lineup.
+var SPAlgorithms = registry.Names(registry.Heuristics(registry.SingleProc))
 
 // SPRow is one row of a SINGLEPROC quality table.
 type SPRow struct {
@@ -356,7 +356,10 @@ type SPRow struct {
 type SPResult struct {
 	Gen  gen.Generator
 	D, G int
-	Rows []SPRow
+	// Algorithms is the column order of the run (canonical registry
+	// names) — SPAlgorithms unless Options.Algorithms overrode it.
+	Algorithms []string
+	Rows       []SPRow
 	// Averages over all instances of the table.
 	AvgQual map[string]float64
 	AvgTime map[string]time.Duration
@@ -367,6 +370,10 @@ type SPResult struct {
 // grid, solved by the four greedy heuristics and the exact algorithm. Jobs
 // run on the batch worker pool under ctx.
 func RunSingleProc(ctx context.Context, generator gen.Generator, d, g int, o Options) (*SPResult, error) {
+	algs, sols, err := resolveAlgorithms(registry.SingleProc, o.Algorithms, SPAlgorithms)
+	if err != nil {
+		return nil, err
+	}
 	type job struct {
 		sizeIdx, seed int
 	}
@@ -387,7 +394,7 @@ func RunSingleProc(ctx context.Context, generator gen.Generator, d, g int, o Opt
 	results := make(map[int][]obs)
 	var mu sync.Mutex
 
-	err := batch.ForEach(ctx, o.workers(), len(jobs), func(ctx context.Context, i int) error {
+	err = batch.ForEach(ctx, o.workers(), len(jobs), func(ctx context.Context, i int) error {
 		j := jobs[i]
 		size := sizes[j.sizeIdx]
 		gr, err := gen.Bipartite(generator, size.N, size.P, g, d, int64(j.seed))
@@ -409,9 +416,12 @@ func RunSingleProc(ctx context.Context, generator gen.Generator, d, g int, o Opt
 			times:     map[string]time.Duration{},
 			exactTime: exactTime,
 		}
-		for _, name := range SPAlgorithms {
+		for ai, name := range algs {
 			t0 := time.Now()
-			a := runSPAlgorithm(name, gr)
+			a, err := sols[ai].SolveSingle(ctx, gr, registry.Options{})
+			if err != nil && (a == nil || !registry.IncumbentError(err)) {
+				return fmt.Errorf("bench: %s on seed %d: %w", name, j.seed, err)
+			}
 			ob.times[name] = time.Since(t0)
 			ob.ratio[name] = float64(core.Makespan(gr, a)) / float64(opt)
 		}
@@ -430,8 +440,9 @@ func RunSingleProc(ctx context.Context, generator gen.Generator, d, g int, o Opt
 	}
 	res := &SPResult{
 		Gen: generator, D: d, G: g,
-		AvgQual: map[string]float64{},
-		AvgTime: map[string]time.Duration{},
+		Algorithms: algs,
+		AvgQual:    map[string]float64{},
+		AvgTime:    map[string]time.Duration{},
 	}
 	allRatios := map[string][]float64{}
 	allTimes := map[string][]float64{}
@@ -458,7 +469,7 @@ func RunSingleProc(ctx context.Context, generator gen.Generator, d, g int, o Opt
 		row.NumEdges = stats.MedianInt(edges)
 		row.Opt = stats.Median(opts)
 		row.ExactTime = time.Duration(stats.Mean(exTimes) * float64(time.Second))
-		for _, name := range SPAlgorithms {
+		for _, name := range algs {
 			var rs, ts []float64
 			for _, ob := range obsList {
 				rs = append(rs, ob.ratio[name])
@@ -471,7 +482,7 @@ func RunSingleProc(ctx context.Context, generator gen.Generator, d, g int, o Opt
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	for _, name := range SPAlgorithms {
+	for _, name := range algs {
 		res.AvgQual[name] = stats.Mean(allRatios[name])
 		res.AvgTime[name] = time.Duration(stats.Mean(allTimes[name]) * float64(time.Second))
 	}
@@ -483,24 +494,24 @@ func FormatSPTable(res *SPResult) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "SINGLEPROC-UNIT, %s, d=%d, g=%d\n", res.Gen, res.D, res.G)
 	fmt.Fprintf(&sb, "%-18s %8s %9s %6s", "Instance", "|E|", "OPT", "t_ex")
-	for _, a := range SPAlgorithms {
+	for _, a := range res.Algorithms {
 		fmt.Fprintf(&sb, " %8s", a)
 	}
 	sb.WriteByte('\n')
 	for _, r := range res.Rows {
 		fmt.Fprintf(&sb, "%-18s %8d %9.0f %6.2f", r.Name, r.NumEdges, r.Opt, r.ExactTime.Seconds())
-		for _, a := range SPAlgorithms {
+		for _, a := range res.Algorithms {
 			fmt.Fprintf(&sb, " %8.2f", r.Quality[a])
 		}
 		sb.WriteByte('\n')
 	}
 	fmt.Fprintf(&sb, "%-18s %8s %9s %6s", "Average quality", "", "", "")
-	for _, a := range SPAlgorithms {
+	for _, a := range res.Algorithms {
 		fmt.Fprintf(&sb, " %8.3f", res.AvgQual[a])
 	}
 	sb.WriteByte('\n')
 	fmt.Fprintf(&sb, "%-18s %8s %9s %6s", "Average time (s)", "", "", "")
-	for _, a := range SPAlgorithms {
+	for _, a := range res.Algorithms {
 		fmt.Fprintf(&sb, " %8.4f", res.AvgTime[a].Seconds())
 	}
 	sb.WriteByte('\n')

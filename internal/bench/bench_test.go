@@ -205,3 +205,57 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Fatal("quick grid must be smaller")
 	}
 }
+
+// The harness used to panic on unknown algorithm names; now they resolve
+// through the registry and come back as suggested-names errors before any
+// job runs.
+func TestUnknownAlgorithmIsError(t *testing.T) {
+	opts := Options{Seeds: 1, SizesOverride: tinySizes, Algorithms: []string{"SGH", "nope"}}
+	if _, err := RunHyperTable(context.Background(), gen.Unit, opts); err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("RunHyperTable should name the unknown algorithm, got %v", err)
+	}
+	if _, err := RunSingleProc(context.Background(), gen.FewgManyg, 10, 32, opts); err == nil || !strings.Contains(err.Error(), `"SGH"`) {
+		t.Fatalf("RunSingleProc should reject the MULTIPROC-only name, got %v", err)
+	}
+}
+
+// Aliases and auxiliary solvers are addressable as table columns, and the
+// result records the canonical column order it ran with.
+func TestAlgorithmsOverrideResolvesAliases(t *testing.T) {
+	opts := Options{Seeds: 1, SizesOverride: tinySizes, Algorithms: []string{"sgh", "evg-exact"}}
+	res, err := RunHyperTable(context.Background(), gen.Unit, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SGH", "EVG-X"}
+	if len(res.Algorithms) != 2 || res.Algorithms[0] != want[0] || res.Algorithms[1] != want[1] {
+		t.Fatalf("Algorithms = %v, want %v", res.Algorithms, want)
+	}
+	for _, r := range res.Rows {
+		for _, name := range want {
+			if r.Quality[name] < 1 {
+				t.Fatalf("%s: %s quality %v < 1", r.Name, name, r.Quality[name])
+			}
+		}
+	}
+	if out := FormatHyperTable(res); !strings.Contains(out, "EVG-X") {
+		t.Fatalf("format should use the run's column order:\n%s", out)
+	}
+}
+
+// An exact column that exhausts its node budget reports its incumbent's
+// quality instead of aborting the table.
+func TestExactColumnKeepsIncumbent(t *testing.T) {
+	opts := Options{Seeds: 1, SizesOverride: tinySizes, Algorithms: []string{"SGH", "bnb"}}
+	res, err := RunHyperTable(context.Background(), gen.Unit, opts)
+	if err != nil {
+		t.Fatalf("BnB column must degrade to its incumbent, not abort: %v", err)
+	}
+	for _, r := range res.Rows {
+		// The B&B seeds its incumbent from sorted greedy, so it can only
+		// match or beat the SGH column.
+		if r.Quality["BnB-MP"] < 1 || r.Quality["BnB-MP"] > r.Quality["SGH"] {
+			t.Fatalf("%s: BnB-MP incumbent quality %v vs SGH %v", r.Name, r.Quality["BnB-MP"], r.Quality["SGH"])
+		}
+	}
+}

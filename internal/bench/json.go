@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Machine-readable views of the benchmark results, the format behind
+// `semibench -json`. One JSON object per table, newline-delimited; the
+// schema is documented in cmd/semibench/doc.go and is the input format of
+// the BENCH_*.json quality/time trajectories.
+
+// HyperTableJSON is the external form of a MULTIPROC table.
+type HyperTableJSON struct {
+	Table      string             `json:"table"`
+	Kind       string             `json:"kind"` // "multiproc"
+	Weights    string             `json:"weights"`
+	Algorithms []string           `json:"algorithms"`
+	Rows       []HyperRowJSON     `json:"rows"`
+	AvgQuality map[string]float64 `json:"avg_quality"`
+	AvgTimeS   map[string]float64 `json:"avg_time_s"`
+}
+
+// HyperRowJSON is one instance row (a family × size point, aggregated
+// over seeds).
+type HyperRowJSON struct {
+	Instance string             `json:"instance"`
+	V1       int                `json:"v1"`
+	V2       int                `json:"v2"`
+	Edges    int                `json:"edges"`
+	Pins     int                `json:"pins"`
+	LB       float64            `json:"lb"`
+	Quality  map[string]float64 `json:"quality"`
+	TimeS    map[string]float64 `json:"time_s"`
+}
+
+// JSON converts the result to its machine-readable form; table labels the
+// run ("1", "2", "3", "8").
+func (res *HyperResult) JSON(table string) *HyperTableJSON {
+	out := &HyperTableJSON{
+		Table:      table,
+		Kind:       "multiproc",
+		Weights:    res.Weights.String(),
+		Algorithms: res.Algorithms,
+		AvgQuality: res.AvgQual,
+		AvgTimeS:   secondsMap(res.AvgTime),
+	}
+	for _, r := range res.Rows {
+		out.Rows = append(out.Rows, HyperRowJSON{
+			Instance: r.Name, V1: r.V1, V2: r.V2,
+			Edges: r.NumEdges, Pins: r.NumPins, LB: r.LB,
+			Quality: r.Quality, TimeS: secondsMap(r.Times),
+		})
+	}
+	return out
+}
+
+// SPTableJSON is the external form of a SINGLEPROC table.
+type SPTableJSON struct {
+	Table      string             `json:"table"` // "sp"
+	Kind       string             `json:"kind"`  // "singleproc"
+	Generator  string             `json:"generator"`
+	D          int                `json:"d"`
+	G          int                `json:"g"`
+	Algorithms []string           `json:"algorithms"`
+	Rows       []SPRowJSON        `json:"rows"`
+	AvgQuality map[string]float64 `json:"avg_quality"`
+	AvgTimeS   map[string]float64 `json:"avg_time_s"`
+}
+
+// SPRowJSON is one instance row of a SINGLEPROC table.
+type SPRowJSON struct {
+	Instance   string             `json:"instance"`
+	V1         int                `json:"v1"`
+	V2         int                `json:"v2"`
+	Edges      int                `json:"edges"`
+	Opt        float64            `json:"opt"`
+	ExactTimeS float64            `json:"exact_time_s"`
+	Quality    map[string]float64 `json:"quality"`
+	TimeS      map[string]float64 `json:"time_s"`
+}
+
+// JSON converts the result to its machine-readable form.
+func (res *SPResult) JSON() *SPTableJSON {
+	out := &SPTableJSON{
+		Table:      "sp",
+		Kind:       "singleproc",
+		Generator:  res.Gen.String(),
+		D:          res.D,
+		G:          res.G,
+		Algorithms: res.Algorithms,
+		AvgQuality: res.AvgQual,
+		AvgTimeS:   secondsMap(res.AvgTime),
+	}
+	for _, r := range res.Rows {
+		out.Rows = append(out.Rows, SPRowJSON{
+			Instance: r.Name, V1: r.V1, V2: r.V2, Edges: r.NumEdges,
+			Opt: r.Opt, ExactTimeS: r.ExactTime.Seconds(),
+			Quality: r.Quality, TimeS: secondsMap(r.Times),
+		})
+	}
+	return out
+}
+
+// AdvTableJSON is the external form of the Fig. 3 worst-case scaling
+// experiment.
+type AdvTableJSON struct {
+	Table string       `json:"table"` // "fig3"
+	Kind  string       `json:"kind"`  // "adversarial"
+	Rows  []AdvRowJSON `json:"rows"`
+}
+
+// AdvRowJSON is one Chain(k) row.
+type AdvRowJSON struct {
+	K           int     `json:"k"`
+	Tasks       int     `json:"tasks"`
+	Procs       int     `json:"procs"`
+	Basic       int64   `json:"basic"`
+	Sorted      int64   `json:"sorted"`
+	Double      int64   `json:"double"`
+	Expected    int64   `json:"expected"`
+	Optimal     int64   `json:"optimal"`
+	OnlineRatio float64 `json:"online_ratio"`
+	ExactTimeS  float64 `json:"exact_time_s"`
+}
+
+// AdversarialJSON converts Fig. 3 rows to their machine-readable form.
+func AdversarialJSON(rows []AdvRow) *AdvTableJSON {
+	out := &AdvTableJSON{Table: "fig3", Kind: "adversarial"}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, AdvRowJSON{
+			K: r.K, Tasks: r.Tasks, Procs: r.Procs,
+			Basic: r.Basic, Sorted: r.Sorted, Double: r.Double, Expected: r.Expected,
+			Optimal: r.Optimal, OnlineRatio: r.OnlineComp, ExactTimeS: r.ExactTime.Seconds(),
+		})
+	}
+	return out
+}
+
+// WriteJSON emits one newline-terminated JSON object.
+func WriteJSON(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+func secondsMap(m map[string]time.Duration) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, d := range m {
+		out[k] = d.Seconds()
+	}
+	return out
+}

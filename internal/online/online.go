@@ -33,8 +33,10 @@ func New(nProcs int) *Scheduler {
 	return &Scheduler{nProcs: nProcs, loads: make([]int64, nProcs)}
 }
 
-// Loads returns the current processor loads (do not modify).
-func (s *Scheduler) Loads() []int64 { return s.loads }
+// Loads returns a copy of the current processor loads.
+func (s *Scheduler) Loads() []int64 {
+	return append([]int64(nil), s.loads...)
+}
 
 // Makespan returns the current maximum load.
 func (s *Scheduler) Makespan() int64 {

@@ -12,6 +12,11 @@
 // the portfolio stops waiting and judges whichever candidates have
 // finished, so callers get the best schedule computable within their time
 // budget rather than an all-or-nothing answer.
+//
+// Member names resolve through the solver registry (internal/registry):
+// any registered MULTIPROC solver — aliases included — can be drafted into
+// the portfolio, and the default lineup is the registry's heuristic
+// catalog.
 package portfolio
 
 import (
@@ -23,12 +28,14 @@ import (
 	"semimatch/internal/hypergraph"
 	"semimatch/internal/loadvec"
 	"semimatch/internal/refine"
+	"semimatch/internal/registry"
 )
 
 // Options configures a portfolio run.
 type Options struct {
-	// Algorithms restricts the portfolio; nil means all four heuristics.
-	// Unknown names make Solve return an error.
+	// Algorithms restricts the portfolio; nil means the registry's default
+	// MULTIPROC heuristic lineup. Names resolve through the solver
+	// registry (aliases work); unknown names make Solve return an error.
 	Algorithms []string
 	// Refine post-processes every candidate with local search.
 	Refine bool
@@ -36,20 +43,11 @@ type Options struct {
 	Workers int
 }
 
-// members maps each portfolio member name to its heuristic — the single
-// source of truth for valid names (ValidateAlgorithms and run both consult
-// it).
-var members = map[string]func(*hypergraph.Hypergraph, core.HyperOptions) core.HyperAssignment{
-	"SGH": core.SortedGreedyHyp,
-	"VGH": core.VectorGreedyHyp,
-	"EGH": core.ExpectedGreedyHyp,
-	"EVG": core.ExpectedVectorGreedyHyp,
-}
-
-// DefaultAlgorithms is the full portfolio in deterministic tie-break
-// order: when two members produce equally good schedules the earlier name
-// wins, so results are reproducible regardless of goroutine timing.
-var DefaultAlgorithms = []string{"SGH", "VGH", "EGH", "EVG"}
+// DefaultAlgorithms is the full default portfolio — the registry's
+// MULTIPROC heuristic lineup — in deterministic tie-break order: when two
+// members produce equally good schedules the earlier name wins, so results
+// are reproducible regardless of goroutine timing.
+var DefaultAlgorithms = registry.Names(registry.Heuristics(registry.MultiProc))
 
 // Result is the winning schedule and the league table.
 type Result struct {
@@ -69,24 +67,39 @@ type Result struct {
 	MemberErrs map[string]error
 }
 
-func run(ctx context.Context, name string, h *hypergraph.Hypergraph, doRefine bool) core.HyperAssignment {
-	a := members[name](h, core.HyperOptions{})
+func run(ctx context.Context, sol *registry.Solver, h *hypergraph.Hypergraph, doRefine bool) (core.HyperAssignment, error) {
+	a, err := sol.SolveHyper(ctx, h, registry.Options{})
+	if err != nil {
+		// An exact member that runs out of budget still hands back its
+		// incumbent — a valid schedule, just not provably optimal — and a
+		// portfolio judges schedules, not proofs: keep it as a candidate.
+		if a == nil || !registry.IncumbentError(err) {
+			return nil, err
+		}
+	}
 	if doRefine {
 		a = refine.RefineCtx(ctx, h, a, refine.Options{}).Assignment
 	}
-	return a
+	return a, nil
+}
+
+// resolve maps member names to registry solvers (canonical names out),
+// erroring on the first unknown name. An empty list means the full
+// default portfolio.
+func resolve(algs []string) ([]string, []*registry.Solver, error) {
+	names, solvers, err := registry.ResolveClass(registry.MultiProc, algs, DefaultAlgorithms)
+	if err != nil {
+		return nil, nil, fmt.Errorf("portfolio: %w", err)
+	}
+	return names, solvers, nil
 }
 
 // ValidateAlgorithms rejects unknown member names up front so a bad
 // Options value is an error, not a crash deep inside a worker goroutine.
 // An empty list is valid and means the full default portfolio.
 func ValidateAlgorithms(algs []string) error {
-	for _, name := range algs {
-		if _, ok := members[name]; !ok {
-			return fmt.Errorf("portfolio: unknown algorithm %q (want one of %v)", name, DefaultAlgorithms)
-		}
-	}
-	return nil
+	_, _, err := resolve(algs)
+	return err
 }
 
 // Solve runs the portfolio on h and returns the best schedule. Ties are
@@ -106,11 +119,8 @@ func Solve(h *hypergraph.Hypergraph, opts Options) (Result, error) {
 // discarded. Only when the context expires before any member has produced
 // a candidate does SolveCtx give up and return ctx's error.
 func SolveCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (Result, error) {
-	algs := opts.Algorithms
-	if len(algs) == 0 {
-		algs = DefaultAlgorithms
-	}
-	if err := ValidateAlgorithms(algs); err != nil {
+	algs, solvers, err := resolve(opts.Algorithms)
+	if err != nil {
 		return Result{}, err
 	}
 	workers := opts.Workers
@@ -149,7 +159,11 @@ func SolveCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (Resu
 					ch <- cand{idx: i, name: name, err: fmt.Errorf("portfolio: %s panicked: %v", name, p)}
 				}
 			}()
-			a := run(ctx, name, h, opts.Refine)
+			a, err := run(ctx, solvers[i], h, opts.Refine)
+			if err != nil {
+				ch <- cand{idx: i, name: name, err: fmt.Errorf("portfolio: %s: %w", name, err)}
+				return
+			}
 			vec := loadvec.SortedDesc(core.HyperLoads(h, a))
 			m := int64(0)
 			if len(vec) > 0 {

@@ -206,3 +206,33 @@ func TestPortfolioCtxBackgroundComplete(t *testing.T) {
 		t.Fatalf("background run must be complete: %+v", res)
 	}
 }
+
+// An exact member that exhausts its node budget still contributes its
+// incumbent as a candidate instead of landing in MemberErrs.
+func TestExactMemberKeepsIncumbent(t *testing.T) {
+	// 26 single-processor configurations per task with large distinct
+	// weights: 3^26 leaves and weak pruning guarantee the budget trips.
+	b := hypergraph.NewBuilder(26, 3)
+	for task := 0; task < 26; task++ {
+		for p := 0; p < 3; p++ {
+			b.AddEdge(task, []int{p}, int64(1000+37*task+p))
+		}
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(h, Options{Algorithms: []string{"SGH", "exact"}})
+	if err != nil {
+		t.Fatalf("portfolio must keep the exact incumbent: %v", err)
+	}
+	if len(res.MemberErrs) != 0 {
+		t.Fatalf("budget truncation is not a member failure: %v", res.MemberErrs)
+	}
+	if _, ok := res.Makespans["BnB-MP"]; !ok {
+		t.Fatalf("exact member missing from the league table: %v", res.Makespans)
+	}
+	if res.Makespans["BnB-MP"] > res.Makespans["SGH"] {
+		t.Fatalf("B&B seeds from sorted greedy, incumbent can't be worse: %v", res.Makespans)
+	}
+}

@@ -13,14 +13,15 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
 	"semimatch/internal/core"
-	"semimatch/internal/exact"
 	"semimatch/internal/hypergraph"
+	"semimatch/internal/registry"
 )
 
 // Config is one execution option of a task: run on all of Procs, taking
@@ -117,32 +118,30 @@ type Schedule struct {
 	Optimal  bool // true when produced by the exact solver
 }
 
-// Solve schedules the instance with the chosen algorithm.
+// Solve schedules the instance with the chosen algorithm. The enum maps
+// through the solver registry via its String() name, so the set of valid
+// values tracks the catalog.
 func Solve(in *Instance, alg Algorithm) (*Schedule, error) {
+	return SolveByName(in, alg.String())
+}
+
+// SolveByName schedules the instance with any registered MULTIPROC solver
+// — canonical name or alias. Unknown names yield the registry's
+// suggested-names error.
+func SolveByName(in *Instance, name string) (*Schedule, error) {
+	sol, err := registry.LookupClass(registry.MultiProc, name)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
 	h, err := in.Hypergraph()
 	if err != nil {
 		return nil, err
 	}
-	var a core.HyperAssignment
-	optimal := false
-	switch alg {
-	case SortedGreedy:
-		a = core.SortedGreedyHyp(h, core.HyperOptions{})
-	case ExpectedGreedy:
-		a = core.ExpectedGreedyHyp(h, core.HyperOptions{})
-	case VectorGreedy:
-		a = core.VectorGreedyHyp(h, core.HyperOptions{})
-	case ExpectedVectorGreedy:
-		a = core.ExpectedVectorGreedyHyp(h, core.HyperOptions{})
-	case Exact:
-		a, _, err = exact.SolveMultiProc(h, exact.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("sched: exact solve: %w", err)
-		}
-		optimal = true
-	default:
-		return nil, fmt.Errorf("sched: unknown algorithm %d", alg)
+	a, err := sol.SolveHyper(context.Background(), h, registry.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("sched: %s: %w", sol.Name, err)
 	}
+	optimal := sol.Optimal()
 	if err := core.ValidateHyperAssignment(h, a); err != nil {
 		return nil, fmt.Errorf("sched: internal error: %w", err)
 	}

@@ -15,8 +15,61 @@ import (
 	"semimatch/internal/online"
 	"semimatch/internal/portfolio"
 	"semimatch/internal/refine"
+	"semimatch/internal/registry"
 	"semimatch/internal/sched"
 )
+
+// --- Solver registry (discovery) ---
+
+// Solver is one self-describing entry of the solver registry: name,
+// aliases, problem class, kind, cost class and a context-aware solve
+// function. Every algorithm in this package is registered exactly once,
+// and all dispatch layers (Portfolio, the bench harness, Solve, SolveBatch
+// and the CLIs) resolve algorithms through the registry.
+type Solver = registry.Solver
+
+// SolverOptions carries per-solver tuning knobs for Solver.SolveSingle /
+// Solver.SolveHyper; the zero value is the paper's behaviour everywhere.
+type SolverOptions = registry.Options
+
+// SolverClass is the problem class a solver accepts.
+type SolverClass = registry.Class
+
+// SolverKind distinguishes heuristic, exact and online solvers.
+type SolverKind = registry.Kind
+
+// SolverCost is a solver's coarse running-time class.
+type SolverCost = registry.Cost
+
+// Solver capability values.
+const (
+	ClassSingleProc = registry.SingleProc
+	ClassMultiProc  = registry.MultiProc
+
+	KindHeuristic = registry.Heuristic
+	KindExact     = registry.Exact
+	KindOnline    = registry.Online
+
+	CostNearLinear  = registry.CostNearLinear
+	CostPolynomial  = registry.CostPolynomial
+	CostExponential = registry.CostExponential
+)
+
+// Solvers enumerates the full solver catalog in its deterministic listing
+// order.
+func Solvers() []*Solver { return registry.Solvers() }
+
+// LookupSolver resolves an algorithm name or alias (case-insensitive)
+// across both problem classes. Names that mean different solvers per class
+// (e.g. "bnb") and unknown names yield descriptive errors; unknown names
+// come with suggestions.
+func LookupSolver(name string) (*Solver, error) { return registry.Lookup(name) }
+
+// LookupClassSolver resolves a name within one problem class — use it when
+// the instance kind is known.
+func LookupClassSolver(class SolverClass, name string) (*Solver, error) {
+	return registry.LookupClass(class, name)
+}
 
 // Graph is a bipartite SINGLEPROC instance: tasks × processors with
 // optional execution-time edge weights. Build one with NewGraphBuilder.
@@ -295,8 +348,13 @@ const (
 // names.
 func NewInstance(procNames ...string) *Instance { return sched.NewInstance(procNames...) }
 
-// Solve schedules an instance.
+// Solve schedules an instance; the Algorithm enum maps through the solver
+// registry.
 var Solve = sched.Solve
+
+// SolveByName schedules an instance with any registered MULTIPROC solver,
+// by name or alias.
+var SolveByName = sched.SolveByName
 
 // --- Persistence ---
 

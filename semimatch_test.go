@@ -257,3 +257,51 @@ func TestBatchAndContextFacade(t *testing.T) {
 		t.Fatal("incumbent makespan mismatch")
 	}
 }
+
+// TestSolverDiscovery exercises the public registry facade: the catalog
+// enumerates every solver, lookups resolve names and aliases, and the
+// looked-up solver actually solves.
+func TestSolverDiscovery(t *testing.T) {
+	solvers := semimatch.Solvers()
+	if len(solvers) < 16 {
+		t.Fatalf("catalog too small: %d solvers", len(solvers))
+	}
+	classes := map[semimatch.SolverClass]int{}
+	for _, s := range solvers {
+		classes[s.Class]++
+	}
+	if classes[semimatch.ClassSingleProc] == 0 || classes[semimatch.ClassMultiProc] == 0 {
+		t.Fatalf("catalog missing a class: %v", classes)
+	}
+
+	sol, err := semimatch.LookupSolver("evg")
+	if err != nil || sol.Name != "EVG" {
+		t.Fatalf("LookupSolver(evg) = %v, %v", sol, err)
+	}
+	if sol.Kind != semimatch.KindHeuristic || sol.Class != semimatch.ClassMultiProc {
+		t.Fatalf("EVG capability metadata wrong: %v/%v", sol.Class, sol.Kind)
+	}
+	if _, err := semimatch.LookupSolver("no-such-solver"); err == nil {
+		t.Fatal("unknown solver must error")
+	}
+	exact, err := semimatch.LookupClassSolver(semimatch.ClassSingleProc, "exact")
+	if err != nil || exact.Name != "ExactUnit" || !exact.Optimal() {
+		t.Fatalf("LookupClassSolver(SINGLEPROC, exact) = %v, %v", exact, err)
+	}
+
+	b := semimatch.NewHypergraphBuilder(2, 2)
+	b.AddEdge(0, []int{0}, 2)
+	b.AddEdge(0, []int{0, 1}, 1)
+	b.AddEdge(1, []int{1}, 3)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sol.SolveHyper(context.Background(), h, semimatch.SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := semimatch.ValidateHyperAssignment(h, a); err != nil {
+		t.Fatal(err)
+	}
+}
