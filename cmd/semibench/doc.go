@@ -19,6 +19,8 @@
 //	semibench -naive              # naive vector heuristics (ablation)
 //	semibench -alg SGH,EVG        # restrict algorithm columns
 //	semibench -list-algorithms    # print the solver catalog and exit
+//	semibench -list-algorithms -json  # catalog as NDJSON (one SolverRecord per line,
+//	                                  # the same records semiserve's GET /algorithms serves)
 //	semibench -table 2 -json      # machine-readable output
 //
 // # JSON output

@@ -27,6 +27,13 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		if *jsonOut {
+			if err := registry.WriteCatalogNDJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "semibench: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		fmt.Print(registry.FormatCatalog())
 		return
 	}

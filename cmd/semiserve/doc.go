@@ -1,0 +1,92 @@
+// Command semiserve is the solving-as-a-service HTTP front end: a
+// long-running server over internal/service that canonicalizes and
+// fingerprints every posted instance, answers repeats (including
+// isomorphic reorderings) from a sharded LRU result cache, deduplicates
+// concurrent identical requests into one solve, and sheds load with 429
+// once its admission queue is full.
+//
+// Usage:
+//
+//	semiserve                          # listen on :8080
+//	semiserve -addr 127.0.0.1:0        # free port; scrape it from stdout
+//	semiserve -cache 65536 -queue 256  # bigger deployment
+//	semiserve -deadline 2s             # default per-request budget
+//	semiserve -http-inflight 32 -max-body 4194304  # tighter memory bounds
+//	semiserve -refine                  # local search on auto-policy schedules
+//
+// # POST /solve
+//
+// The request body is an instance in either of two formats:
+//
+//   - the internal/encode text format ("bipartite ..." or "hypergraph
+//     ...", the format cmd/semigen writes and cmd/semisolve reads);
+//   - the cmd/semisched JSON instance schema (detected by a leading '{'):
+//     {"processors": [...], "tasks": [{"name": ..., "configs":
+//     [{"procs": [...], "time": ...}]}]}, converted to its hypergraph
+//     form.
+//
+// Query parameters:
+//
+//	alg       algorithm name or alias from the solver registry (see GET
+//	          /algorithms); empty selects the auto policy — the batch
+//	          pipeline (portfolio, then exact branch-and-bound when small
+//	          enough) for hypergraphs, ExactUnit/expected for bipartite
+//	          instances.
+//	deadline  per-request budget as a Go duration ("500ms", "5s"),
+//	          capped by -max-deadline; without it the server's -deadline
+//	          default applies. When the budget expires mid-solve the
+//	          response carries the best schedule found so far with
+//	          "truncated": true instead of failing.
+//
+// A 200 response is one JSON object:
+//
+//	{
+//	  "kind": "hypergraph",            // bipartite | hypergraph
+//	  "fingerprint": "4f1c…",          // canonical content hash (SHA-256)
+//	  "algorithm": "auto:EVG",         // solver, or auto:<winning source>
+//	  "makespan": 42,
+//	  "optimal": false,                // provably optimal
+//	  "truncated": false,              // deadline/budget-truncated incumbent
+//	  "cached": true,                  // served from the result cache
+//	  "elapsed_s": 0.0031,             // solve wall-clock (≈0 for hits)
+//	  "assignment": [0, 2, 5],         // task → processor (bipartite) or
+//	                                   // task → hyperedge id (hypergraph,
+//	                                   // in the posted task-grouped order)
+//	  "configs": [0, 1, 0],            // JSON instances only: task →
+//	                                   // configuration index as posted
+//	  "loads": [12, 42, 7]             // per-processor loads
+//	}
+//
+// Results are cached by (fingerprint, algorithm, budget class), so two
+// isomorphic instances — the same hypergraph with configurations or
+// processors listed in a different order — share one cache entry; the
+// assignment is translated to each requester's own numbering before it
+// is returned. Truncated results are never cached.
+//
+// Errors are {"error": "..."} with status 400 (malformed instance,
+// unknown algorithm, bad deadline), 429 (admission queue full, or more
+// than -http-inflight /solve requests in flight; comes with a
+// Retry-After header), 504 (deadline expired before any schedule
+// existed) or 500.
+//
+// # GET /algorithms
+//
+// The solver-registry catalog as newline-delimited JSON, one record per
+// algorithm — the same schema `semisolve -list-algorithms -json` and
+// `semibench -list-algorithms -json` emit:
+//
+//	{"name": "EVG", "aliases": ["expected-vector-greedy"],
+//	 "class": "MULTIPROC", "kind": "heuristic", "cost": "near-linear",
+//	 "optimal": false, "summary": "expected-load vector greedy …"}
+//
+// # GET /stats
+//
+// A JSON snapshot of the serving counters: requests, cache_hits,
+// cache_misses, cache_evictions, cache_entries, coalesced (single-flight
+// deduplicated requests), solves, solve_errors, truncated, overloaded
+// (429s), in_flight, queue_depth, workers, uptime_s.
+//
+// # GET /healthz
+//
+// "ok" with status 200; for load balancers and the CI smoke test.
+package main

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"semimatch/internal/batch"
+	"semimatch/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result-cache capacity in entries (negative disables)")
+	queueDepth := flag.Int("queue", service.DefaultQueueDepth, "max solves in flight before requests get 429")
+	workers := flag.Int("workers", 0, "max concurrently running solves (0 = GOMAXPROCS)")
+	deadline := flag.Duration("deadline", 10*time.Second, "default per-request deadline when none is given (0 = none)")
+	maxDeadline := flag.Duration("max-deadline", time.Minute, "cap on the per-request ?deadline= override (0 = no cap)")
+	maxInflight := flag.Int("http-inflight", 64, "max concurrent /solve requests, parsing included (0 = unlimited)")
+	maxBody := flag.Int64("max-body", 0, "max /solve request body in bytes (0 = 16MiB; worst-case buffered memory is this times -http-inflight)")
+	doRefine := flag.Bool("refine", false, "post-process auto-policy schedules with local search")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: semiserve [-addr :8080] [-cache n] [-queue n] [-workers n] [-deadline d]")
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Options{
+		CacheEntries:    *cacheEntries,
+		QueueDepth:      *queueDepth,
+		Workers:         *workers,
+		DefaultDeadline: *deadline,
+		Batch:           batch.Options{Refine: *doRefine},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "semiserve: %v\n", err)
+		os.Exit(1)
+	}
+	// The actual address is printed (not just the flag value) so scripts
+	// can start on port 0 and scrape the port — the CI smoke job does.
+	fmt.Printf("semiserve: listening on %s\n", ln.Addr())
+
+	// WriteTimeout must outlive the longest admissible solve (it covers
+	// the handler, not just the response write); the other timeouts shed
+	// slow-client connections that would otherwise pin goroutines and
+	// partially-read bodies forever.
+	writeTimeout := 5 * time.Minute
+	if *maxDeadline > 0 {
+		writeTimeout = *maxDeadline + 30*time.Second
+	}
+	srv := &http.Server{
+		Handler:           newServer(svc, *maxDeadline, *maxInflight, *maxBody),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "semiserve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"semimatch/internal/encode"
+	"semimatch/internal/hypergraph"
+	"semimatch/internal/registry"
+	"semimatch/internal/sched"
+	"semimatch/internal/service"
+)
+
+// defaultMaxBody bounds one /solve request body (overridable with
+// -max-body). Worst-case buffered body memory is maxBody × maxInflight —
+// 1 GiB at the defaults (16 MiB × 64) — so both knobs must be raised
+// together deliberately, not by accident. 16 MiB of the text format is
+// roughly half a million hyperedges; the paper's largest grids need a
+// few times that, which is exactly what -max-body is for.
+const defaultMaxBody = 16 << 20
+
+// server is the HTTP front end over one Service.
+type server struct {
+	svc         *service.Service
+	maxDeadline time.Duration
+	maxBody     int64
+	start       time.Time
+	// inflight caps concurrent /solve handlers. The service's own
+	// admission control only bounds solves; this bound also covers the
+	// per-request work done before a request reaches it — body
+	// buffering, parsing, canonicalization, hashing — so a flood of
+	// large instances is shed before it burns that cost. nil means
+	// unlimited.
+	inflight chan struct{}
+}
+
+// newServer wires the HTTP routes. maxDeadline caps the per-request
+// ?deadline= override (0 means no cap); maxInflight caps concurrent
+// /solve handlers (0 means unlimited); maxBody caps one request body
+// (0 means defaultMaxBody).
+func newServer(svc *service.Service, maxDeadline time.Duration, maxInflight int, maxBody int64) http.Handler {
+	s := &server{svc: svc, maxDeadline: maxDeadline, maxBody: maxBody, start: time.Now()}
+	if s.maxBody <= 0 {
+		s.maxBody = defaultMaxBody
+	}
+	if maxInflight > 0 {
+		s.inflight = make(chan struct{}, maxInflight)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// solveResponse is the JSON body of a successful POST /solve; the schema
+// is documented in doc.go.
+type solveResponse struct {
+	Kind        string  `json:"kind"`
+	Fingerprint string  `json:"fingerprint"`
+	Algorithm   string  `json:"algorithm"`
+	Makespan    int64   `json:"makespan"`
+	Optimal     bool    `json:"optimal"`
+	Truncated   bool    `json:"truncated"`
+	Cached      bool    `json:"cached"`
+	ElapsedS    float64 `json:"elapsed_s"`
+	// Assignment maps task → processor (bipartite) or task → hyperedge id
+	// in the posted instance's task-grouped numbering (hypergraph).
+	Assignment []int32 `json:"assignment"`
+	// Configs, present for JSON instances only, maps task → chosen
+	// configuration index in the posted order.
+	Configs []int32 `json:"configs,omitempty"`
+	Loads   []int64 `json:"loads"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "too many requests in flight")
+			return
+		}
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+
+	ctx := r.Context()
+	if d := r.URL.Query().Get("deadline"); d != "" {
+		dur, err := time.ParseDuration(d)
+		if err != nil || dur <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad deadline %q (want a positive Go duration, e.g. 500ms)", d))
+			return
+		}
+		if s.maxDeadline > 0 && dur > s.maxDeadline {
+			dur = s.maxDeadline
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, dur)
+		defer cancel()
+	}
+
+	instance, fromJSON, err := parseInstance(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := s.svc.Solve(ctx, instance, r.URL.Query().Get("alg"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, service.ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			status = http.StatusTooManyRequests
+		case errors.Is(err, service.ErrUnknownAlgorithm), errors.Is(err, service.ErrBadInstance):
+			status = http.StatusBadRequest
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+
+	resp := solveResponse{
+		Kind:        res.Kind,
+		Fingerprint: res.Fingerprint,
+		Algorithm:   res.Algorithm,
+		Makespan:    res.Makespan,
+		Optimal:     res.Optimal,
+		Truncated:   res.Truncated,
+		Cached:      res.Cached,
+		ElapsedS:    res.Elapsed.Seconds(),
+		Assignment:  res.Assignment,
+		Loads:       res.Loads,
+	}
+	if fromJSON {
+		// For the named-task JSON form, translate hyperedge ids back to
+		// per-task configuration indices (configuration j of task t is
+		// hyperedge TaskEdges(t)[j]).
+		if h, ok := instance.(*hypergraph.Hypergraph); ok {
+			resp.Configs = make([]int32, len(res.Assignment))
+			for t, e := range res.Assignment {
+				resp.Configs[t] = e - h.TaskPtr[t]
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseInstance decodes a request body: the encode text formats
+// ("bipartite ..." / "hypergraph ...") or the cmd/semisched JSON instance
+// schema (detected by a leading '{'), which is converted to its
+// hypergraph form.
+func parseInstance(body []byte) (instance any, fromJSON bool, err error) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, false, errors.New("empty request body")
+	}
+	if trimmed[0] == '{' {
+		in, err := sched.ReadInstanceJSON(bytes.NewReader(trimmed))
+		if err != nil {
+			return nil, true, err
+		}
+		h, err := in.Hypergraph()
+		if err != nil {
+			return nil, true, err
+		}
+		return h, true, nil
+	}
+	kind, err := encode.DetectKind(body)
+	if err != nil {
+		return nil, false, err
+	}
+	if kind == "bipartite" {
+		g, err := encode.ReadBipartite(bytes.NewReader(body))
+		return g, false, err
+	}
+	h, err := encode.ReadHypergraph(bytes.NewReader(body))
+	return h, false, err
+}
+
+func (s *server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	registry.WriteCatalogNDJSON(w)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		service.Stats
+		UptimeS float64 `json:"uptime_s"`
+	}{s.svc.Stats(), time.Since(s.start).Seconds()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: strings.TrimSpace(msg)})
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	semisolve -list-algorithms
+//	semisolve -list-algorithms -json   # NDJSON SolverRecord per line
 //	semisolve -alg evg instance.txt
 //	semisolve -alg exact -show-loads sp.txt
 package main
@@ -29,10 +30,17 @@ import (
 func main() {
 	alg := flag.String("alg", "evg", "algorithm name or alias (see -list-algorithms)")
 	list := flag.Bool("list-algorithms", false, "print the solver catalog and exit")
+	jsonOut := flag.Bool("json", false, "with -list-algorithms, emit the catalog as NDJSON (one record per solver)")
 	showLoads := flag.Bool("show-loads", false, "print the per-processor loads")
 	doRefine := flag.Bool("refine", false, "post-process hypergraph schedules with local search")
 	flag.Parse()
 	if *list {
+		if *jsonOut {
+			if err := registry.WriteCatalogNDJSON(os.Stdout); err != nil {
+				fail(err)
+			}
+			return
+		}
 		fmt.Print(registry.FormatCatalog())
 		return
 	}

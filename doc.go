@@ -84,6 +84,26 @@
 //	sol, err := semimatch.LookupSolver("evg")       // aliases work
 //	a, err := sol.SolveHyper(ctx, h, semimatch.SolverOptions{})
 //
+// # Solving as a service
+//
+// Fingerprint(instance) hashes an instance's canonical form — the
+// deterministic reordering that makes isomorphic instances (same
+// structure under configuration/processor reordering) byte-identical —
+// so identical problems can be recognized across requests. NewService
+// builds on it: a long-running, concurrency-safe solving service with a
+// sharded LRU result cache keyed by (fingerprint, algorithm, budget
+// class), single-flight deduplication (N concurrent identical requests
+// trigger one solve), and bounded-queue admission control that fails
+// fast with ErrServiceOverloaded instead of queueing unboundedly:
+//
+//	svc := semimatch.NewService(semimatch.ServiceOptions{})
+//	res, err := svc.Solve(ctx, h, "")     // auto policy; or any registry name
+//	// res.Makespan, res.Assignment, res.Cached, res.Truncated ...
+//
+// Deadline-truncated solves return the best schedule found so far with
+// Truncated set (and are kept out of the cache). cmd/semiserve wraps a
+// Service in an HTTP server: POST /solve, GET /algorithms, GET /stats.
+//
 // See examples/ for runnable programs and cmd/semibench for the
 // experiment harness.
 package semimatch

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a sharded LRU over solve results. Sharding keeps the lock
+// hold times of a hot serving path short: keys hash (FNV-1a) to one of
+// nShards independent shards, each with its own mutex, map and recency
+// list, so concurrent requests for different instances rarely contend.
+// Counters are per shard (updated under the shard lock) and aggregated on
+// read.
+type lruCache struct {
+	shards []*cacheShard
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// newLRUCache builds a cache holding ~entries results across shards (each
+// shard gets the ceiling share, so the true capacity is rounded up to a
+// multiple of the shard count). entries < 1 or shards < 1 disable caching:
+// every get misses and puts are dropped.
+func newLRUCache(entries, shards int) *lruCache {
+	c := &lruCache{}
+	if entries < 1 || shards < 1 {
+		return c
+	}
+	if shards > entries {
+		shards = entries
+	}
+	per := (entries + shards - 1) / shards
+	c.shards = make([]*cacheShard, shards)
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap:   per,
+			ll:    list.New(),
+			items: make(map[string]*list.Element, per),
+		}
+	}
+	return c
+}
+
+func (c *lruCache) shard(key string) *cacheShard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	// Inline FNV-1a over the string: the hash/fnv API would allocate a
+	// hasher and a []byte copy on every lookup of the hot serving path.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// get returns the cached result for key, refreshing its recency. The
+// result is shared: callers must treat it (and its slices) as immutable.
+func (c *lruCache) get(key string) (*Result, bool) {
+	if len(c.shards) == 0 {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores res under key, evicting the least recently used entry of the
+// shard when it is full.
+func (c *lruCache) put(key string, res *Result) {
+	if len(c.shards) == 0 {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		oldest := s.ll.Back()
+		if oldest != nil {
+			s.ll.Remove(oldest)
+			delete(s.items, oldest.Value.(*cacheEntry).key)
+			s.evicted++
+		}
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// counters returns the aggregated hit/miss/eviction counts.
+func (c *lruCache) counters() (hits, misses, evicted uint64) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		evicted += s.evicted
+		s.mu.Unlock()
+	}
+	return
+}

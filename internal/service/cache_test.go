@@ -1,0 +1,98 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheEvictionOrder pins the LRU contract on a single shard: the
+// least recently *used* entry goes first, and a get refreshes recency.
+func TestCacheEvictionOrder(t *testing.T) {
+	c := newLRUCache(2, 1)
+	ra, rb, rc, rd := &Result{Makespan: 1}, &Result{Makespan: 2}, &Result{Makespan: 3}, &Result{Makespan: 4}
+	c.put("a", ra)
+	c.put("b", rb)
+	c.put("c", rc) // evicts a (oldest)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if _, _, ev := c.counters(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if r, ok := c.get("b"); !ok || r.Makespan != 2 {
+		t.Fatal("b should still be cached")
+	}
+	c.put("d", rd) // b was just used, so c is now the LRU entry
+	if _, ok := c.get("c"); ok {
+		t.Fatal("c should have been evicted after b was refreshed")
+	}
+	if r, ok := c.get("b"); !ok || r.Makespan != 2 {
+		t.Fatal("b should survive")
+	}
+	if r, ok := c.get("d"); !ok || r.Makespan != 4 {
+		t.Fatal("d should be cached")
+	}
+	if n := c.len(); n != 2 {
+		t.Fatalf("len = %d, want 2", n)
+	}
+}
+
+// TestCacheUpdateExisting: putting an existing key replaces the value
+// without growing the shard.
+func TestCacheUpdateExisting(t *testing.T) {
+	c := newLRUCache(2, 1)
+	c.put("a", &Result{Makespan: 1})
+	c.put("a", &Result{Makespan: 9})
+	if r, ok := c.get("a"); !ok || r.Makespan != 9 {
+		t.Fatal("update lost")
+	}
+	if n := c.len(); n != 1 {
+		t.Fatalf("len = %d, want 1", n)
+	}
+	if _, _, ev := c.counters(); ev != 0 {
+		t.Fatalf("evictions = %d, want 0", ev)
+	}
+}
+
+// TestCacheDisabled: non-positive capacity disables caching.
+func TestCacheDisabled(t *testing.T) {
+	c := newLRUCache(-1, 4)
+	c.put("a", &Result{})
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache returned a value")
+	}
+	if c.len() != 0 {
+		t.Fatal("disabled cache has entries")
+	}
+}
+
+// TestCacheShardedStress hammers the sharded cache from many goroutines;
+// run under -race this is the shard-safety test the CI race job relies
+// on.
+func TestCacheShardedStress(t *testing.T) {
+	c := newLRUCache(64, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%96) // more keys than capacity
+				if r, ok := c.get(key); ok && r == nil {
+					t.Error("nil result cached")
+					return
+				}
+				c.put(key, &Result{Makespan: int64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.len(); n > 64+7 { // per-shard rounding may add a few slots
+		t.Fatalf("cache grew past capacity: %d", n)
+	}
+	hits, misses, _ := c.counters()
+	if hits+misses != 8*2000 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 8*2000)
+	}
+}

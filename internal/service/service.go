@@ -1,0 +1,554 @@
+// Package service is the solving-as-a-service core: a long-running,
+// cache-fronted solver that answers repeated requests for the same
+// instance from memory instead of recomputing them.
+//
+// A request is (instance, algorithm, budget). The instance — bipartite
+// SINGLEPROC or hypergraph MULTIPROC — is canonicalized and fingerprinted
+// (internal/encode), so isomorphic instances (same structure under
+// configuration/processor reordering) share one cache entry; the solve
+// itself runs on the canonical form and the resulting schedule is
+// translated back to each requester's own hyperedge numbering. Results
+// are cached in a sharded LRU keyed by (fingerprint, algorithm, budget
+// class), and N concurrent requests for the same key trigger exactly one
+// solve (single-flight deduplication).
+//
+// Admission control keeps the service responsive under overload: at most
+// QueueDepth solves may be in flight (queued or running, cache hits and
+// coalesced duplicates excluded); beyond that Solve fails fast with
+// ErrOverloaded, which the HTTP front end (cmd/semiserve) maps to 429.
+// Each admitted solve runs under the request context plus an optional
+// default deadline; deadline-truncated solves still return the best
+// schedule found so far, flagged Truncated and kept out of the cache.
+//
+// Dispatch goes through the existing machinery: named algorithms resolve
+// via the solver registry, and the empty algorithm name selects the
+// "auto" policy — the batch.Runner per-instance pipeline (portfolio
+// first, exact branch-and-bound when small, fallback on timeout) for
+// hypergraphs, and the cheapest suitable registry solver (ExactUnit for
+// unit instances, the expected greedy otherwise) for bipartite graphs.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semimatch/internal/batch"
+	"semimatch/internal/bipartite"
+	"semimatch/internal/core"
+	"semimatch/internal/encode"
+	"semimatch/internal/hypergraph"
+	"semimatch/internal/registry"
+)
+
+// Defaults for the zero Options value.
+const (
+	// DefaultCacheEntries is the result-cache capacity when
+	// Options.CacheEntries is zero.
+	DefaultCacheEntries = 4096
+	// DefaultCacheShards is the cache shard count when Options.CacheShards
+	// is zero.
+	DefaultCacheShards = 16
+	// DefaultQueueDepth is the admission bound when Options.QueueDepth is
+	// zero: the maximum number of solves in flight before Solve starts
+	// failing fast with ErrOverloaded.
+	DefaultQueueDepth = 64
+)
+
+// Sentinel errors of the serving layer.
+var (
+	// ErrOverloaded reports that the solve queue is full; the request was
+	// rejected without solving. The HTTP layer maps it to 429.
+	ErrOverloaded = errors.New("service: overloaded: solve queue is full")
+	// ErrBadInstance reports an unusable instance (nil, or an unsupported
+	// type).
+	ErrBadInstance = errors.New("service: bad instance")
+	// ErrUnknownAlgorithm wraps the registry's unknown-name error.
+	ErrUnknownAlgorithm = errors.New("service: unknown algorithm")
+)
+
+// Options configures a Service; the zero value serves with the defaults
+// above, no default deadline, and the standard batch policy.
+type Options struct {
+	// CacheEntries bounds the result cache; 0 means DefaultCacheEntries,
+	// negative disables caching entirely.
+	CacheEntries int
+	// CacheShards is the cache shard count; 0 means DefaultCacheShards.
+	CacheShards int
+	// QueueDepth bounds the solves in flight (queued or running); beyond
+	// it Solve fails fast with ErrOverloaded. 0 means DefaultQueueDepth.
+	QueueDepth int
+	// Workers bounds concurrently running solves; 0 means GOMAXPROCS.
+	Workers int
+	// DefaultDeadline is applied to requests whose context has no
+	// deadline; 0 means none.
+	DefaultDeadline time.Duration
+	// Batch tunes the "auto" hypergraph policy (portfolio members,
+	// refinement, exact-attempt limits). Workers and InstanceTimeout are
+	// ignored: the service supplies its own concurrency and deadlines.
+	Batch batch.Options
+}
+
+func (o Options) cacheEntries() int {
+	if o.CacheEntries == 0 {
+		return DefaultCacheEntries
+	}
+	return o.CacheEntries
+}
+
+func (o Options) cacheShards() int {
+	if o.CacheShards <= 0 {
+		return DefaultCacheShards
+	}
+	return o.CacheShards
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth <= 0 {
+		return DefaultQueueDepth
+	}
+	return o.QueueDepth
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is one solved (or cache-served) request.
+type Result struct {
+	// Kind is "bipartite" or "hypergraph".
+	Kind string
+	// Fingerprint is the canonical content hash of the instance.
+	Fingerprint string
+	// Algorithm is the canonical solver name, or "auto:<source>" when the
+	// batch policy chose the winner.
+	Algorithm string
+	// Makespan is the schedule's maximum processor load.
+	Makespan int64
+	// Assignment maps each task to its processor (bipartite) or chosen
+	// hyperedge id (hypergraph), in the requester's own numbering. Shared
+	// with the cache on hits — treat as immutable.
+	Assignment []int32
+	// Loads is the per-processor load vector. Shared with the cache on
+	// hits — treat as immutable.
+	Loads []int64
+	// Optimal reports a provably optimal schedule.
+	Optimal bool
+	// Truncated reports a deadline- or budget-truncated solve: the
+	// schedule is valid but not provably best. Truncated results are never
+	// cached.
+	Truncated bool
+	// Cached reports that this result was served from the cache.
+	Cached bool
+	// Elapsed is the wall-clock solve time (zero-ish for cache hits).
+	Elapsed time.Duration
+}
+
+// Stats is a counters snapshot for monitoring (GET /stats).
+type Stats struct {
+	Requests       uint64 `json:"requests"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	CacheEntries   int    `json:"cache_entries"`
+	// Coalesced counts requests answered by another request's in-flight
+	// solve (single-flight deduplication).
+	Coalesced   uint64 `json:"coalesced"`
+	Solves      uint64 `json:"solves"`
+	SolveErrors uint64 `json:"solve_errors"`
+	Truncated   uint64 `json:"truncated"`
+	// Overloaded counts requests rejected by admission control.
+	Overloaded uint64 `json:"overloaded"`
+	InFlight   int64  `json:"in_flight"`
+	QueueDepth int    `json:"queue_depth"`
+	Workers    int    `json:"workers"`
+}
+
+// Service is a reusable, concurrency-safe solving service.
+type Service struct {
+	opts    Options
+	cache   *lruCache
+	runner  *batch.Runner
+	queue   chan struct{} // admission slots: solves in flight
+	workers chan struct{} // run slots: solves executing
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	requests    atomic.Uint64
+	coalesced   atomic.Uint64
+	solves      atomic.Uint64
+	solveErrors atomic.Uint64
+	truncated   atomic.Uint64
+	overloaded  atomic.Uint64
+	inFlight    atomic.Int64
+
+	// solveFn is the dispatch stage, replaceable by tests.
+	solveFn func(ctx context.Context, req *request) (*Result, error)
+}
+
+// flight is one in-progress solve that duplicate requests wait on.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// New returns a Service with the given options.
+func New(opts Options) *Service {
+	bopts := opts.Batch
+	bopts.Workers = 1 // the service's worker pool owns the cores
+	bopts.InstanceTimeout = 0
+	s := &Service{
+		opts:    opts,
+		cache:   newLRUCache(opts.cacheEntries(), opts.cacheShards()),
+		runner:  batch.New(bopts),
+		queue:   make(chan struct{}, opts.queueDepth()),
+		workers: make(chan struct{}, opts.workers()),
+		flights: make(map[string]*flight),
+	}
+	s.solveFn = s.dispatch
+	return s
+}
+
+// request is a normalized, canonicalized solve request.
+type request struct {
+	kind  string
+	class registry.Class
+	g     *bipartite.Graph       // canonical form (bipartite requests)
+	h     *hypergraph.Hypergraph // canonical form (hypergraph requests)
+	inv   []int32                // canonical edge id → requester edge id
+	sol   *registry.Solver       // nil for the hypergraph auto policy
+	alg   string                 // algorithm label used in keys and results
+	fp    string                 // canonical fingerprint
+}
+
+// Solve answers one request. instance must be a *semimatch
+// hypergraph.Hypergraph or bipartite.Graph; algorithm is any name or
+// alias the solver registry resolves for the instance's class, or ""
+// for the auto policy. The request context's deadline bounds the solve:
+// when it expires, exact stages degrade to their incumbent (Result.
+// Truncated) rather than failing, as long as any schedule was found.
+func (s *Service) Solve(ctx context.Context, instance any, algorithm string) (*Result, error) {
+	s.requests.Add(1)
+	req, err := s.newRequest(instance, algorithm)
+	if err != nil {
+		return nil, err
+	}
+
+	ictx := ctx
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && s.opts.DefaultDeadline > 0 {
+		var cancel context.CancelFunc
+		ictx, cancel = context.WithTimeout(ctx, s.opts.DefaultDeadline)
+		defer cancel()
+	}
+	key := req.fp + "|" + req.alg + "|" + budgetClass(ictx)
+
+	var f *flight
+	for {
+		if res, ok := s.cache.get(key); ok {
+			return req.deliver(res, true), nil
+		}
+
+		// Single flight: the first request for a key becomes the leader
+		// and solves; duplicates arriving before it finishes wait for its
+		// result without consuming queue slots.
+		s.flightMu.Lock()
+		leader, ok := s.flights[key]
+		if !ok {
+			f = &flight{done: make(chan struct{})}
+			s.flights[key] = f
+			s.flightMu.Unlock()
+			break
+		}
+		s.flightMu.Unlock()
+		s.coalesced.Add(1)
+		select {
+		case <-leader.done:
+			if leader.err == nil {
+				return req.deliver(leader.res, false), nil
+			}
+			// The leader's failure may be its own: a leader whose request
+			// context died mid-solve fails with a context error that says
+			// nothing about this request. While our context is alive,
+			// loop and try again (hitting the cache, a newer flight, or
+			// becoming the leader ourselves); real solve errors are
+			// shared as-is.
+			if ictx.Err() == nil &&
+				(errors.Is(leader.err, context.Canceled) || errors.Is(leader.err, context.DeadlineExceeded)) {
+				continue
+			}
+			return nil, leader.err
+		case <-ictx.Done():
+			return nil, fmt.Errorf("service: abandoned waiting for in-flight duplicate solve: %w", ictx.Err())
+		}
+	}
+
+	// Teardown is deferred so that even a panic unwinding through the
+	// leader cannot leave a stale flight behind (followers would block on
+	// it forever and the key could never be solved again).
+	defer func() {
+		if f.res == nil && f.err == nil {
+			f.err = errors.New("service: solve aborted")
+		}
+		if f.err == nil && !f.res.Truncated {
+			// A truncated incumbent is only the best schedule this
+			// deadline allowed; caching it would freeze a degraded answer
+			// for future requests, so only complete results are stored.
+			// The store happens before the flight is removed, so no
+			// request can slip between flight teardown and cache
+			// visibility and re-solve.
+			s.cache.put(key, f.res)
+		}
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+	}()
+	f.res, f.err = s.admitAndSolve(ictx, req)
+	if f.err != nil {
+		return nil, f.err
+	}
+	return req.deliver(f.res, false), nil
+}
+
+// Stats returns a counters snapshot.
+func (s *Service) Stats() Stats {
+	hits, misses, evicted := s.cache.counters()
+	return Stats{
+		Requests:       s.requests.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: evicted,
+		CacheEntries:   s.cache.len(),
+		Coalesced:      s.coalesced.Load(),
+		Solves:         s.solves.Load(),
+		SolveErrors:    s.solveErrors.Load(),
+		Truncated:      s.truncated.Load(),
+		Overloaded:     s.overloaded.Load(),
+		InFlight:       s.inFlight.Load(),
+		QueueDepth:     s.opts.queueDepth(),
+		Workers:        s.opts.workers(),
+	}
+}
+
+// newRequest validates, canonicalizes and fingerprints one request.
+func (s *Service) newRequest(instance any, algorithm string) (*request, error) {
+	req := &request{}
+	switch v := instance.(type) {
+	case *hypergraph.Hypergraph:
+		if v == nil {
+			return nil, fmt.Errorf("%w: nil hypergraph", ErrBadInstance)
+		}
+		canon, perm, err := encode.CanonicalHypergraph(v)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInstance, err)
+		}
+		fp, err := encode.FingerprintCanonicalHypergraph(canon)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInstance, err)
+		}
+		inv := make([]int32, len(perm))
+		for orig, c := range perm {
+			inv[c] = int32(orig)
+		}
+		req.kind, req.class = "hypergraph", registry.MultiProc
+		req.h, req.inv, req.fp = canon, inv, fp
+	case *bipartite.Graph:
+		if v == nil {
+			return nil, fmt.Errorf("%w: nil graph", ErrBadInstance)
+		}
+		canon, err := encode.CanonicalBipartite(v)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInstance, err)
+		}
+		fp, err := encode.FingerprintCanonicalBipartite(canon)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInstance, err)
+		}
+		req.kind, req.class = "bipartite", registry.SingleProc
+		req.g, req.fp = canon, fp
+	default:
+		return nil, fmt.Errorf("%w: unsupported instance type %T", ErrBadInstance, instance)
+	}
+
+	switch {
+	case algorithm != "":
+		sol, err := registry.LookupClass(req.class, algorithm)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnknownAlgorithm, err)
+		}
+		req.sol, req.alg = sol, sol.Name
+	case req.class == registry.SingleProc:
+		// Bipartite auto: the polynomial exact solver when it applies,
+		// otherwise the paper's best bipartite greedy. Resolving to the
+		// canonical solver name here means auto requests share cache
+		// entries with explicit requests for the same solver.
+		name := "expected"
+		if req.g.Unit() {
+			name = "ExactUnit"
+		}
+		sol, err := registry.LookupClass(registry.SingleProc, name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnknownAlgorithm, err)
+		}
+		req.sol, req.alg = sol, sol.Name
+	default:
+		// Hypergraph auto: the batch.Runner policy.
+		req.alg = "auto"
+	}
+	return req, nil
+}
+
+// deliver adapts a (possibly shared, canonical-numbered) result to one
+// requester: hypergraph assignments are translated to the requester's own
+// hyperedge numbering, and the Cached flag is stamped.
+func (req *request) deliver(res *Result, cached bool) *Result {
+	out := *res
+	out.Cached = cached
+	if cached {
+		out.Elapsed = 0 // the documented "≈0 for hits": no solve ran
+	}
+	if req.inv != nil && out.Assignment != nil {
+		a := make([]int32, len(out.Assignment))
+		for t, c := range out.Assignment {
+			a[t] = req.inv[c]
+		}
+		out.Assignment = a
+	}
+	return &out
+}
+
+// admitAndSolve applies admission control around the dispatch stage.
+func (s *Service) admitAndSolve(ctx context.Context, req *request) (*Result, error) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.overloaded.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer func() { <-s.queue }()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	select {
+	case s.workers <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("service: abandoned in queue: %w", ctx.Err())
+	}
+	defer func() { <-s.workers }()
+
+	s.solves.Add(1)
+	res, err := func() (res *Result, err error) {
+		// A panicking solver must not take down the service or, worse,
+		// strand the flight: it becomes this request's error.
+		defer func() {
+			if p := recover(); p != nil {
+				res, err = nil, fmt.Errorf("service: panic solving instance: %v", p)
+			}
+		}()
+		return s.solveFn(ctx, req)
+	}()
+	if err != nil {
+		s.solveErrors.Add(1)
+		return nil, err
+	}
+	if res.Truncated {
+		s.truncated.Add(1)
+	}
+	return res, nil
+}
+
+// dispatch runs one solve on the canonical instance.
+func (s *Service) dispatch(ctx context.Context, req *request) (*Result, error) {
+	start := time.Now()
+	res := &Result{Kind: req.kind, Fingerprint: req.fp, Algorithm: req.alg}
+	switch {
+	case req.sol != nil && req.class == registry.SingleProc:
+		a, err := req.sol.SolveSingle(ctx, req.g, registry.Options{})
+		if err != nil {
+			if a == nil || !registry.IncumbentError(err) {
+				return nil, fmt.Errorf("service: %s: %w", req.alg, err)
+			}
+			res.Truncated = true
+		} else {
+			res.Optimal = req.sol.Optimal()
+		}
+		res.Assignment = []int32(a)
+		res.Loads = core.Loads(req.g, a)
+	case req.sol != nil:
+		a, err := req.sol.SolveHyper(ctx, req.h, registry.Options{})
+		if err != nil {
+			if a == nil || !registry.IncumbentError(err) {
+				return nil, fmt.Errorf("service: %s: %w", req.alg, err)
+			}
+			res.Truncated = true
+		} else {
+			res.Optimal = req.sol.Optimal()
+		}
+		res.Assignment = []int32(a)
+		res.Loads = core.HyperLoads(req.h, a)
+	default:
+		// The auto policy reuses the batch pipeline on a one-instance
+		// batch: portfolio first, exact branch-and-bound when small
+		// enough, best-so-far fallback when the deadline expires.
+		results, runErr := s.runner.Run(ctx, []*hypergraph.Hypergraph{req.h})
+		if len(results) != 1 {
+			// Run failed up front (e.g. Options.Batch names an unknown
+			// portfolio algorithm) and produced no per-instance results.
+			return nil, fmt.Errorf("service: auto solve: %w", runErr)
+		}
+		r := results[0]
+		if r.Assignment == nil {
+			if r.Err != nil {
+				return nil, fmt.Errorf("service: auto solve: %w", r.Err)
+			}
+			return nil, errors.New("service: auto solve produced no schedule")
+		}
+		res.Algorithm = "auto:" + r.Source
+		res.Assignment = []int32(r.Assignment)
+		res.Loads = core.HyperLoads(req.h, r.Assignment)
+		res.Optimal = r.Optimal
+		// A schedule finished under an expired deadline is the best the
+		// budget allowed, not necessarily the policy's full answer — but
+		// a schedule the exact stage already proved optimal is complete
+		// no matter when the deadline fired.
+		res.Truncated = r.Err != nil || (!r.Optimal && ctx.Err() != nil)
+	}
+	for _, l := range res.Loads {
+		if l > res.Makespan {
+			res.Makespan = l
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// budgetClass buckets a context's remaining budget into a coarse class so
+// cache keys distinguish "answers computed under a tight deadline" from
+// unconstrained ones without fragmenting the cache per-millisecond.
+func budgetClass(ctx context.Context) string {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return "inf"
+	}
+	switch rem := time.Until(d); {
+	case rem <= 100*time.Millisecond:
+		return "le100ms"
+	case rem <= 500*time.Millisecond:
+		return "le500ms"
+	case rem <= 2*time.Second:
+		return "le2s"
+	case rem <= 10*time.Second:
+		return "le10s"
+	default:
+		return "gt10s"
+	}
+}

@@ -2,6 +2,7 @@ package semimatch
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"semimatch/internal/adversarial"
@@ -17,6 +18,7 @@ import (
 	"semimatch/internal/refine"
 	"semimatch/internal/registry"
 	"semimatch/internal/sched"
+	"semimatch/internal/service"
 )
 
 // --- Solver registry (discovery) ---
@@ -355,6 +357,57 @@ var Solve = sched.Solve
 // SolveByName schedules an instance with any registered MULTIPROC solver,
 // by name or alias.
 var SolveByName = sched.SolveByName
+
+// --- Solving as a service ---
+
+// Fingerprint returns the collision-resistant content hash (hex SHA-256)
+// of an instance's canonical form. instance must be a *Graph or a
+// *Hypergraph. Isomorphic instances — the same problem with
+// configurations or processors listed in a different order, or a
+// weighted encoding whose weights are all one — share a fingerprint; any
+// structural or weight difference changes it. This is the identity the
+// service's result cache is keyed by.
+func Fingerprint(instance any) (string, error) {
+	switch v := instance.(type) {
+	case *Hypergraph:
+		return encode.FingerprintHypergraph(v)
+	case *Graph:
+		return encode.FingerprintBipartite(v)
+	default:
+		return "", fmt.Errorf("semimatch: Fingerprint: unsupported instance type %T", instance)
+	}
+}
+
+// Service is a long-running, concurrency-safe solving service: requests
+// are canonicalized and fingerprinted, repeated (or isomorphic) requests
+// are answered from a sharded LRU result cache, concurrent identical
+// requests coalesce into a single solve, and a bounded admission queue
+// rejects overload fast with ErrServiceOverloaded. cmd/semiserve is the
+// HTTP front end over this type.
+type Service = service.Service
+
+// ServiceOptions configures NewService; the zero value uses sensible
+// defaults (4096-entry cache, 64-deep queue, GOMAXPROCS workers).
+type ServiceOptions = service.Options
+
+// ServiceResult is one solved (or cache-served) request.
+type ServiceResult = service.Result
+
+// ServiceStats is a counters snapshot of a Service.
+type ServiceStats = service.Stats
+
+// NewService returns a Service with the given options.
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// Service sentinel errors.
+var (
+	// ErrServiceOverloaded reports a request rejected by admission control
+	// because the solve queue was full.
+	ErrServiceOverloaded = service.ErrOverloaded
+	// ErrUnknownAlgorithm reports an algorithm name the registry cannot
+	// resolve for the instance's class.
+	ErrUnknownAlgorithm = service.ErrUnknownAlgorithm
+)
 
 // --- Persistence ---
 

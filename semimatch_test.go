@@ -305,3 +305,67 @@ func TestSolverDiscovery(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestServiceFacade drives the solving-as-a-service public API:
+// fingerprinting, NewService, cached solves.
+func TestServiceFacade(t *testing.T) {
+	b1 := semimatch.NewHypergraphBuilder(2, 2)
+	b1.AddEdge(0, []int{0}, 2)
+	b1.AddEdge(0, []int{0, 1}, 1)
+	b1.AddEdge(1, []int{1}, 3)
+	h1, err := b1.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Isomorph: same instance, configurations inserted in reverse order.
+	b2 := semimatch.NewHypergraphBuilder(2, 2)
+	b2.AddEdge(0, []int{1, 0}, 1)
+	b2.AddEdge(0, []int{0}, 2)
+	b2.AddEdge(1, []int{1}, 3)
+	h2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := semimatch.Fingerprint(h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := semimatch.Fingerprint(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 == "" || f1 != f2 {
+		t.Fatalf("isomorph fingerprints differ: %q vs %q", f1, f2)
+	}
+	if _, err := semimatch.Fingerprint("nope"); err == nil {
+		t.Fatal("Fingerprint must reject unsupported types")
+	}
+
+	svc := semimatch.NewService(semimatch.ServiceOptions{})
+	r1, err := svc.Solve(context.Background(), h1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint != f1 {
+		t.Fatalf("service fingerprint %q, want %q", r1.Fingerprint, f1)
+	}
+	if !r1.Optimal || r1.Makespan != 3 {
+		t.Fatalf("auto policy on a 2-task instance: %+v", r1)
+	}
+	r2, err := svc.Solve(context.Background(), h2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached || r2.Makespan != r1.Makespan {
+		t.Fatalf("isomorph should be a cache hit: %+v", r2)
+	}
+	if err := semimatch.ValidateHyperAssignment(h2, semimatch.HyperAssignment(r2.Assignment)); err != nil {
+		t.Fatalf("cache-served assignment invalid for the isomorph: %v", err)
+	}
+	if _, err := svc.Solve(context.Background(), h1, "no-such"); !errors.Is(err, semimatch.ErrUnknownAlgorithm) {
+		t.Fatalf("err = %v, want ErrUnknownAlgorithm", err)
+	}
+	if st := svc.Stats(); st.Solves != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
