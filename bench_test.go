@@ -1,7 +1,9 @@
 // Package-level benchmarks: one testing.B target per table/figure of the
 // paper's evaluation, so `go test -bench=.` regenerates every experiment
 // at a CI-friendly scale. cmd/semibench runs the full-size grids and
-// prints the tables themselves (see EXPERIMENTS.md for recorded results).
+// prints the tables themselves; `semibench -bench` records the
+// exact-solver perf trajectory as BENCH.json. EXPERIMENTS.md holds the
+// recorded results and the methodology for regressing against them.
 package semimatch_test
 
 import (

@@ -22,6 +22,10 @@
 //	semibench -list-algorithms -json  # catalog as NDJSON (one SolverRecord per line,
 //	                                  # the same records semiserve's GET /algorithms serves)
 //	semibench -table 2 -json      # machine-readable output
+//	semibench -bench              # exact-solver perf micro-grid → BENCH.json
+//	semibench -bench -workers 8 -bench-seeds 10 -bench-out BENCH-8w.json
+//	semibench -cpuprofile cpu.pb.gz -bench   # profile any run mode
+//	semibench -memprofile heap.pb.gz -table 2
 //
 // # JSON output
 //
@@ -79,4 +83,44 @@
 //	   "double": 2, "expected": 2, "optimal": 1, "online_ratio": 3.0,
 //	   "exact_time_s": 0.001}
 //	]}
+//
+// # Perf mode (-bench): the BENCH.json trajectory
+//
+// -bench runs the seeded exact-solver micro-grid of internal/bench's
+// RunPerf — hard 25-task instances, sequential (BnB-SP/BnB-MP) vs
+// parallel (BnB-SP-Par/BnB-MP-Par) — and writes one indented JSON object
+// (schema "semimatch-bench/v1"):
+//
+//	{
+//	  "schema": "semimatch-bench/v1",
+//	  "created": "2026-07-30T12:00:00Z",
+//	  "go": "go1.24.0", "goos": "linux", "goarch": "amd64",
+//	  "gomaxprocs": 8, "workers": 8, "seeds": 5, "max_nodes": 300000000,
+//	  "cases": [
+//	    {
+//	      "family": "mp-partition-hard",
+//	      "case": "mp-partition-hard/seed=1",
+//	      "class": "MULTIPROC",
+//	      "solver": "BnB-MP-Par", "workers": 8,
+//	      "wall_seconds": 0.031,
+//	      "nodes": 1204511,             // search-tree nodes expanded
+//	      "nodes_per_sec": 3.9e7,
+//	      "subproblems": 210,           // work-stealing pool only
+//	      "steals": 17,                 // work-stealing pool only
+//	      "makespan": 321, "optimal": true,
+//	      "limit": false,               // true = node budget exhausted
+//	      "speedup_vs_seq": 21.8        // parallel rows only (wall ratio)
+//	    }
+//	  ],
+//	  "summary": [                      // per family
+//	    {"family": "mp-partition-hard", "seq_solver": "BnB-MP",
+//	     "par_solver": "BnB-MP-Par", "cases": 5, "seq_solved": 4,
+//	     "par_solved": 5, "seq_seconds": 9.74, "par_seconds": 0.15,
+//	     "wall_speedup": 66.7, "geomean_speedup": 44.4}
+//	  ]
+//	}
+//
+// When both solvers prove optimality their makespans must agree; the run
+// fails otherwise, so every recorded BENCH.json doubles as an equivalence
+// witness. EXPERIMENTS.md records the repo's committed runs.
 package main

@@ -6,6 +6,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"semimatch/internal/bench"
@@ -24,7 +26,43 @@ func main() {
 	algs := flag.String("alg", "", "comma-separated algorithm columns (default: the registry's heuristic lineup)")
 	jsonOut := flag.Bool("json", false, "emit newline-delimited JSON objects instead of text tables (schema in doc.go)")
 	list := flag.Bool("list-algorithms", false, "print the solver catalog and exit")
+	benchMode := flag.Bool("bench", false, "run the exact-solver perf micro-grid and write BENCH.json (see doc.go)")
+	benchOut := flag.String("bench-out", "BENCH.json", "with -bench, where to write the machine-readable report")
+	benchSeeds := flag.Int("bench-seeds", 0, "with -bench, instances per family (default 5)")
+	benchNodes := flag.Int64("bench-nodes", 0, "with -bench, per-solve node budget (default 300e6)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semibench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "semibench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "semibench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "semibench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		if *jsonOut {
@@ -52,6 +90,34 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *benchMode {
+		rep, err := bench.RunPerf(ctx, bench.PerfOptions{
+			Workers:  *workers,
+			Seeds:    *benchSeeds,
+			MaxNodes: *benchNodes,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semibench: -bench: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semibench: -bench: %v\n", err)
+			os.Exit(1)
+		}
+		werr := bench.WritePerfJSON(f, rep)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "semibench: -bench: writing %s: %v\n", *benchOut, werr)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatPerfSummary(rep))
+		fmt.Printf("wrote %s (%d cases)\n", *benchOut, len(rep.Cases))
+		return
 	}
 
 	run := func(name string, f func() error) {

@@ -24,7 +24,11 @@
 //   - The greedy heuristics basic/sorted/double-sorted/expected for
 //     bipartite instances, and SGH/VGH/EGH/EVG for hypergraph instances,
 //     plus the Eq. (1) lower bound.
-//   - Branch-and-bound exact solvers for small NP-hard instances.
+//   - Branch-and-bound exact solvers for small NP-hard instances,
+//     sequential and parallel: the work-stealing engine (BnB-SP-Par,
+//     BnB-MP-Par) shares an atomic incumbent across Workers workers and
+//     adds cheapest-cost ordering, a max-element bound and processor
+//     symmetry breaking.
 //   - The paper's random instance generators (HiLo, FewgManyg, two-stage
 //     hypergraphs; unit/related/random weights) and worst-case families.
 //   - A scheduling front end (named tasks and processors, Gantt charts)
@@ -66,9 +70,10 @@
 //	// results[i].Makespan, results[i].Optimal, results[i].Err ...
 //
 // Each instance runs the portfolio first, then — when small enough — an
-// exact branch-and-bound attempt that can prove optimality, falling back
-// to the best schedule found when a budget expires. Results are
-// deterministic in the worker count.
+// exact branch-and-bound attempt (the parallel engine, worker-budgeted
+// against the pool) that can prove optimality, falling back to the best
+// schedule found when a budget expires. Makespans are deterministic in
+// the worker count.
 //
 // # Solver discovery
 //

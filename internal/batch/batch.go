@@ -14,9 +14,13 @@
 //
 // Failures are isolated per instance: a nil instance, a panic, or a
 // timeout in one work item is recorded in its Result and never poisons its
-// siblings. Results are deterministic: for a given instance and options
-// the answer does not depend on the worker count or on goroutine timing
-// (deadlines excepted, by nature).
+// siblings. Makespans are deterministic: for a given instance and options
+// the reported quality does not depend on the worker count or on
+// goroutine timing (deadlines excepted, by nature). Since the exact stage
+// moved onto the parallel branch-and-bound engine, the schedule identity
+// may vary across runs when several co-optimal schedules exist — the
+// engine proves the same optimal makespan every time, but which optimal
+// assignment wins a race is timing-dependent.
 package batch
 
 import (
@@ -64,6 +68,12 @@ type Options struct {
 	// ExactNodes is the branch-and-bound node budget; 0 means
 	// DefaultExactNodes.
 	ExactNodes int64
+	// ExactWorkers bounds the exact stage's internal worker pool per
+	// instance. 0 means automatic: GOMAXPROCS divided by the batch pool
+	// width, at least 1. Callers that run many Runner invocations
+	// concurrently themselves (e.g. the service) should set it so total
+	// goroutines stay near the core count.
+	ExactWorkers int
 }
 
 func (o Options) workers() int {
@@ -112,7 +122,8 @@ type Runner struct {
 	opts Options
 	// exactSolver is the solver the exact-attempt stage uses, chosen from
 	// the registry by capability (kind Exact for MULTIPROC, cheapest cost
-	// class first); nil when the catalog has none, which disables the
+	// class first, upgraded to its parallel counterpart when one is
+	// registered); nil when the catalog has none, which disables the
 	// stage.
 	exactSolver *registry.Solver
 }
@@ -121,9 +132,25 @@ type Runner struct {
 func New(opts Options) *Runner {
 	r := &Runner{opts: opts}
 	if exacts := registry.Find(registry.MultiProc, registry.Exact); len(exacts) > 0 {
-		r.exactSolver = exacts[0]
+		r.exactSolver = registry.Preferred(exacts[0])
 	}
 	return r
+}
+
+// exactWorkers budgets the exact stage's internal worker pool so the
+// batch as a whole stays at roughly GOMAXPROCS goroutines: the pool
+// already owns workers() cores, so each in-flight exact solve gets the
+// leftover share (at least 1 — which still buys the parallel engine's
+// stronger pruning). Options.ExactWorkers overrides the automatic
+// budget for callers whose concurrency the Runner cannot see.
+func (r *Runner) exactWorkers() int {
+	if r.opts.ExactWorkers > 0 {
+		return r.opts.ExactWorkers
+	}
+	if w := runtime.GOMAXPROCS(0) / r.opts.workers(); w > 1 {
+		return w
+	}
+	return 1
 }
 
 // Run solves every instance and returns one Result per instance, in input
@@ -190,7 +217,8 @@ func (r *Runner) solveOne(ctx context.Context, h *hypergraph.Hypergraph) (res Re
 	// cost class first) gets the attempt.
 	if lim := r.opts.exactTaskLimit(); r.exactSolver != nil && lim > 0 && h.NTasks <= lim && ictx.Err() == nil {
 		a, exErr := r.exactSolver.SolveHyper(ictx, h, registry.Options{
-			BnB: exact.Options{MaxNodes: r.opts.exactNodes()},
+			BnB:     exact.Options{MaxNodes: r.opts.exactNodes()},
+			Workers: r.exactWorkers(),
 		})
 		var m int64
 		if a != nil {

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"semimatch/internal/registry"
+)
+
+// tinyPerfOptions keeps the grid small enough for CI: the instances are
+// trivial, only the plumbing is under test.
+func tinyPerfOptions() PerfOptions {
+	return PerfOptions{
+		Workers:  2,
+		Seeds:    2,
+		MaxNodes: 2_000_000,
+		Families: []PerfFamily{
+			{Name: "mp-tiny", Class: registry.MultiProc, Shape: "partition", NTasks: 8, NProcs: 3, WMin: 2, WMax: 9},
+			{Name: "sp-tiny", Class: registry.SingleProc, Shape: "restricted", NTasks: 8, NProcs: 3, WMin: 2, WMax: 9, Degree: 3},
+		},
+	}
+}
+
+func TestRunPerfSmoke(t *testing.T) {
+	rep, err := RunPerf(context.Background(), tinyPerfOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "semimatch-bench/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Cases) != 2*2*2 { // families × seeds × (seq, par)
+		t.Fatalf("want 8 cases, got %d", len(rep.Cases))
+	}
+	for _, c := range rep.Cases {
+		if c.WallSeconds < 0 || c.Nodes <= 0 || c.Makespan <= 0 {
+			t.Fatalf("degenerate case: %+v", c)
+		}
+		if !c.Optimal {
+			t.Fatalf("tiny instance not solved to optimality: %+v", c)
+		}
+	}
+	if len(rep.Summary) != 2 {
+		t.Fatalf("want 2 family summaries, got %d", len(rep.Summary))
+	}
+	for _, s := range rep.Summary {
+		if s.SeqSolved != 2 || s.ParSolved != 2 || s.Cases != 2 {
+			t.Fatalf("summary counts wrong: %+v", s)
+		}
+		if s.GeomeanSpeedup <= 0 || s.WallSpeedup <= 0 {
+			t.Fatalf("speedups missing: %+v", s)
+		}
+	}
+	// Per seed, sequential and parallel must report the same optimum.
+	bySeed := map[string]int64{}
+	for _, c := range rep.Cases {
+		if prev, ok := bySeed[c.Case]; ok && prev != c.Makespan {
+			t.Fatalf("case %s: makespans disagree (%d vs %d)", c.Case, prev, c.Makespan)
+		}
+		bySeed[c.Case] = c.Makespan
+	}
+}
+
+func TestWritePerfJSONRoundTrips(t *testing.T) {
+	rep, err := RunPerf(context.Background(), tinyPerfOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePerfJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back PerfReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH.json does not round-trip: %v", err)
+	}
+	if back.Schema != rep.Schema || len(back.Cases) != len(rep.Cases) || len(back.Summary) != len(rep.Summary) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if !strings.Contains(buf.String(), "\"speedup_vs_seq\"") {
+		t.Fatal("parallel rows should carry speedup_vs_seq")
+	}
+}
+
+func TestRunPerfCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunPerf(ctx, tinyPerfOptions()); err == nil {
+		t.Fatal("cancelled context must abort the perf run")
+	}
+}
+
+func TestFormatPerfSummary(t *testing.T) {
+	rep, err := RunPerf(context.Background(), tinyPerfOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatPerfSummary(rep)
+	for _, want := range []string{"mp-tiny", "sp-tiny", "BnB-MP-Par", "BnB-SP-Par"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"semimatch/internal/adversarial"
@@ -44,6 +45,7 @@ const ctxCheckInterval = 4096
 // context cancellation — into one cheap per-node check.
 type stopper struct {
 	nodes      int64
+	expanded   int64
 	sinceCheck int
 	done       <-chan struct{}
 	stopped    bool
@@ -65,6 +67,7 @@ func (s *stopper) stop() bool {
 		s.stopped = true
 		return true
 	}
+	s.expanded++
 	if s.done != nil {
 		s.sinceCheck++
 		if s.sinceCheck >= ctxCheckInterval {
@@ -96,8 +99,32 @@ func (s *stopper) err(ctx context.Context) error {
 type Options struct {
 	// MaxNodes caps the number of search-tree nodes. 0 means the default
 	// (20 million), which solves typical 25-task instances in well under a
-	// second.
+	// second. For the parallel solvers the budget is shared across all
+	// workers.
 	MaxNodes int64
+	// Workers bounds the parallel solvers' worker pool; 0 means
+	// GOMAXPROCS. The sequential solvers ignore it.
+	Workers int
+	// Stats, when non-nil, receives search statistics (nodes expanded,
+	// workers used, ...) when the solve returns.
+	Stats *SearchStats
+}
+
+// SearchStats reports how much work a branch-and-bound search did — the
+// raw material of the repo's recorded perf trajectory (BENCH.json).
+type SearchStats struct {
+	// Nodes is the number of search-tree nodes expanded (all workers).
+	Nodes int64
+	// Workers is the worker-pool size the search ran with (1 for the
+	// sequential solvers).
+	Workers int
+	// Subproblems counts independent subproblems executed by the
+	// work-stealing pool: the shallow-frontier split plus any re-splits of
+	// stolen work. Zero for the sequential solvers.
+	Subproblems int64
+	// Steals counts subproblems a worker took from another worker's deque.
+	// Zero for the sequential solvers.
+	Steals int64
 }
 
 func (o Options) maxNodes() int64 {
@@ -105,6 +132,13 @@ func (o Options) maxNodes() int64 {
 		return 20_000_000
 	}
 	return o.MaxNodes
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // SolveSingleProc computes an optimal SINGLEPROC schedule (weighted or
@@ -186,25 +220,43 @@ func SolveSingleProcCtx(ctx context.Context, g *bipartite.Graph, opts Options) (
 		}
 		t := order[i]
 		row := g.Neighbors(t)
-		w := g.Weights(t)
-		for k, proc := range row {
-			wt := int64(1)
-			if w != nil {
-				wt = w[k]
+		// The weighted/unit branch is hoisted out of the child loop: the
+		// two loops are identical except for where the edge weight comes
+		// from, and the per-child `w != nil` test was measurable on the
+		// hot path.
+		if w := g.Weights(t); w != nil {
+			for k, proc := range row {
+				wt := w[k]
+				loads[proc] += wt
+				total += wt
+				nm := curMax
+				if loads[proc] > nm {
+					nm = loads[proc]
+				}
+				cur[t] = proc
+				rec(i+1, nm)
+				loads[proc] -= wt
+				total -= wt
 			}
-			loads[proc] += wt
-			total += wt
-			nm := curMax
-			if loads[proc] > nm {
-				nm = loads[proc]
+		} else {
+			for _, proc := range row {
+				loads[proc]++
+				total++
+				nm := curMax
+				if loads[proc] > nm {
+					nm = loads[proc]
+				}
+				cur[t] = proc
+				rec(i+1, nm)
+				loads[proc]--
+				total--
 			}
-			cur[t] = proc
-			rec(i+1, nm)
-			loads[proc] -= wt
-			total -= wt
 		}
 	}
 	rec(0, 0)
+	if opts.Stats != nil {
+		*opts.Stats = SearchStats{Nodes: st.expanded, Workers: 1}
+	}
 	return bestA, best, st.err(ctx)
 }
 
@@ -233,6 +285,14 @@ func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Optio
 	}
 	sort.SliceStable(order, func(i, j int) bool { return h.TaskDegree(order[i]) < h.TaskDegree(order[j]) })
 
+	// cost[e] = w_e·|h_e∩V2|, the total work hyperedge e adds across its
+	// processors — precomputed once instead of recomputed per node in the
+	// hot loop below.
+	cost := make([]int64, h.NumEdges())
+	for e := range cost {
+		cost[e] = h.Weight[e] * int64(h.EdgeSize(int32(e)))
+	}
+
 	// suffix[i] = Σ over remaining tasks of their cheapest total cost
 	// (w_h·|h|), the quantity behind Eq. (1).
 	suffix := make([]int64, n+1)
@@ -240,8 +300,7 @@ func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Optio
 		t := order[i]
 		best := int64(-1)
 		for _, e := range h.TaskEdges(t) {
-			c := h.Weight[e] * int64(h.EdgeSize(e))
-			if best < 0 || c < best {
+			if c := cost[e]; best < 0 || c < best {
 				best = c
 			}
 		}
@@ -285,16 +344,19 @@ func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Optio
 					nm = loads[u]
 				}
 			}
-			total += w * int64(len(procs))
+			total += cost[e]
 			cur[t] = e
 			rec(i+1, nm)
 			for _, u := range procs {
 				loads[u] -= w
 			}
-			total -= w * int64(len(procs))
+			total -= cost[e]
 		}
 	}
 	rec(0, 0)
+	if opts.Stats != nil {
+		*opts.Stats = SearchStats{Nodes: st.expanded, Workers: 1}
+	}
 	return bestA, best, st.err(ctx)
 }
 

@@ -1,0 +1,1477 @@
+// Parallel branch-and-bound engine.
+//
+// The sequential solvers in exact.go explore one search tree on one
+// goroutine. The engine here splits the same tree at a shallow frontier
+// into independent subproblems (prefixes of branching choices), feeds them
+// to a work-stealing worker pool — each worker owns a deque and a private
+// loads/cur state, steals from a random victim when its deque runs dry,
+// and re-splits stolen subproblems one level so scarce work keeps
+// spreading — and shares the incumbent across workers through an atomic
+// best bound, so any worker's improvement immediately tightens every other
+// worker's pruning. Cancellation and the node budget fold into one shared
+// atomic stopper: the budget is claimed in blocks to keep the hot path off
+// the contended counter, and a watcher goroutine flips the stop flag when
+// the context ends.
+//
+// The engine also carries stronger prunes than the sequential solvers:
+//
+//   - cheapest-cost child ordering: each task's configurations are tried
+//     cheapest first, which finds good incumbents early;
+//   - a max-element lower bound: some processor must absorb the cheapest
+//     placement of the heaviest remaining task, alongside the existing
+//     average-load bound;
+//   - symmetry breaking over interchangeable processors: processors whose
+//     transposition is a verified automorphism of the instance are
+//     grouped, and among a node's children only one representative per
+//     (weight, group, current-load) signature is branched on.
+//
+// Exactness is preserved: symmetry groups come from exact transposition
+// checks (never hashes), so a skipped child's subtree is isomorphic to an
+// explored sibling's.
+package exact
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semimatch/internal/bipartite"
+	"semimatch/internal/core"
+	"semimatch/internal/hypergraph"
+)
+
+const (
+	// budgetBlock caps how many node-budget units a worker claims from
+	// the shared counter at once, bounding contention on the atomic; the
+	// actual block is scaled down for small budgets (see newParShared).
+	budgetBlock = 2048
+	// splitFactor scales the shallow-frontier size: the root split aims
+	// for workers*splitFactor independent subproblems.
+	splitFactor = 8
+	// splitSlack bounds how far below the frontier a stolen subproblem is
+	// still worth re-splitting.
+	splitSlack = 8
+	// chunkNodes bounds how many nodes one subproblem execution may expand
+	// before it must suspend (serializing its open branches back onto the
+	// deque). Chunking keeps the pool fair: no worker can sink into one
+	// huge subtree while a subproblem holding the optimum waits in a
+	// queue, which matters whenever subproblems outnumber workers.
+	chunkNodes = 32 * 1024
+	// symProcCap / symEdgeCap gate the MULTIPROC symmetry detection: the
+	// pairwise transposition verification is quadratic in group size, so
+	// it only runs at exact-solver instance scales.
+	symProcCap = 512
+	symEdgeCap = 8192
+)
+
+// parShared is the cross-worker state of one parallel solve.
+type parShared struct {
+	best      atomic.Int64 // incumbent bound, read at every node
+	budget    atomic.Int64 // remaining shared node budget
+	block     int64        // per-claim block size, scaled to the budget
+	stop      atomic.Bool
+	exhausted atomic.Bool
+	cancelled atomic.Bool
+	nodes     atomic.Int64 // nodes expanded (flushed per worker)
+	steals    atomic.Int64
+	splits    atomic.Int64
+	pending   atomic.Int64 // subproblems not yet fully processed
+
+	mu    sync.Mutex
+	bestM int64 // makespan of bestA; equals best once workers quiesce
+	bestA []int32
+
+	deques []wsDeque
+}
+
+func newParShared(incumbent []int32, m int64, maxNodes int64, workers int) *parShared {
+	sh := &parShared{
+		bestM:  m,
+		bestA:  append([]int32(nil), incumbent...),
+		deques: make([]wsDeque, workers),
+	}
+	sh.best.Store(m)
+	sh.budget.Store(maxNodes)
+	// Scale the claim block to the budget so small user budgets are not
+	// stranded inside per-worker claims: with W workers at most
+	// W·block ≈ budget/8 can sit unspent when the shared counter hits
+	// zero. Unspent remainders are also refunded on flush.
+	sh.block = maxNodes / int64(8*workers)
+	if sh.block > budgetBlock {
+		sh.block = budgetBlock
+	}
+	if sh.block < 64 {
+		sh.block = 64
+	}
+	return sh
+}
+
+// offer publishes an improved complete schedule. The atomic bound and the
+// mutex-guarded assignment are reconciled by bestM: concurrent improvers
+// may interleave their CAS and their copy, but only a strictly better
+// makespan ever overwrites bestA, so bestA always matches bestM and bestM
+// converges to the minimum offered.
+func (sh *parShared) offer(m int64, a []int32) {
+	for {
+		cur := sh.best.Load()
+		if m >= cur {
+			return
+		}
+		if sh.best.CompareAndSwap(cur, m) {
+			break
+		}
+	}
+	sh.mu.Lock()
+	if m < sh.bestM {
+		sh.bestM = m
+		copy(sh.bestA, a)
+	}
+	sh.mu.Unlock()
+}
+
+// claimBlock takes up to budgetBlock nodes from the shared budget,
+// returning 0 (and flipping the stop flag) when the budget is exhausted.
+func (sh *parShared) claimBlock() int64 {
+	for {
+		cur := sh.budget.Load()
+		if cur <= 0 {
+			sh.exhausted.Store(true)
+			sh.stop.Store(true)
+			return 0
+		}
+		n := sh.block
+		if cur < n {
+			n = cur
+		}
+		if sh.budget.CompareAndSwap(cur, cur-n) {
+			return n
+		}
+	}
+}
+
+func (sh *parShared) err(ctx context.Context) error {
+	if sh.cancelled.Load() {
+		return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+	}
+	if sh.exhausted.Load() {
+		return ErrLimit
+	}
+	return nil
+}
+
+// ticker is a worker's private view of the shared stopper: it spends a
+// locally claimed budget block per node and polls the shared stop flag (a
+// single uncontended atomic load) every node.
+type ticker struct {
+	sh       *parShared
+	local    int64
+	expanded int64
+}
+
+// node accounts one search-tree node and reports whether the search must
+// unwind.
+func (tk *ticker) node() bool {
+	if tk.sh.stop.Load() {
+		return true
+	}
+	if tk.local == 0 {
+		if tk.local = tk.sh.claimBlock(); tk.local == 0 {
+			return true
+		}
+	}
+	tk.local--
+	tk.expanded++
+	return false
+}
+
+// flush publishes the node count and refunds any unspent claimed budget
+// (mattering for genFrontier's short-lived ticker and for small budgets).
+func (tk *ticker) flush() {
+	tk.sh.nodes.Add(tk.expanded)
+	tk.expanded = 0
+	if tk.local > 0 {
+		tk.sh.budget.Add(tk.local)
+		tk.local = 0
+	}
+}
+
+// wsDeque is one worker's subproblem deque: pushes append at the tail,
+// and both the owner and thieves consume from the head. Head-first
+// consumption makes each deque FIFO, which combines with chunked
+// execution into round-robin fairness over subproblems — suspended
+// continuations requeue behind older work, so nothing starves.
+// Subproblems are coarse (whole subtrees or chunk continuations), so a
+// mutex is plenty.
+type wsDeque struct {
+	mu    sync.Mutex
+	head  int
+	items [][]int32
+}
+
+func (d *wsDeque) push(p []int32) {
+	d.mu.Lock()
+	d.items = append(d.items, p)
+	d.mu.Unlock()
+}
+
+// take removes the head subproblem; used by the owner (pop) and by
+// thieves (steal).
+func (d *wsDeque) take() ([]int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.items) {
+		if d.head > 0 {
+			d.head, d.items = 0, d.items[:0]
+		}
+		return nil, false
+	}
+	p := d.items[d.head]
+	d.items[d.head] = nil
+	d.head++
+	if d.head == len(d.items) {
+		d.head, d.items = 0, d.items[:0]
+	}
+	return p, true
+}
+
+// xorshift is a tiny per-worker PRNG for victim selection; stealing needs
+// decorrelation, not quality.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+// parSearcher abstracts the two problem shapes (SINGLEPROC bipartite,
+// MULTIPROC hypergraph) for the pool skeleton. Implementations carry the
+// worker-local mutable state; the pool creates one per worker. Dispatch is
+// per subproblem, never per node.
+type parSearcher interface {
+	// run replays prefix and explores its subtree for up to chunkNodes
+	// nodes. A nil return means the subtree is exhausted (or the search
+	// stopped); otherwise it returns continuation prefixes covering
+	// exactly the unexplored remainder, for requeueing.
+	run(prefix []int32, tk *ticker) [][]int32
+	// expand replays prefix and returns its surviving child choices
+	// (ordinals into the node's ordered child list), or nil when the node
+	// is pruned or complete. Accounts one node on tk.
+	expand(prefix []int32, tk *ticker) []int32
+	// depth returns the tree depth (number of tasks).
+	depth() int
+}
+
+// runPool drives the work-stealing pool over an initial frontier and
+// blocks until the search is exhausted or stopped.
+func runPool(sh *parShared, newSearcher func() parSearcher, frontier [][]int32, workers, frontierDepth int) {
+	sh.pending.Store(int64(len(frontier)))
+	for i, p := range frontier {
+		sh.deques[i%workers].push(p)
+	}
+	splitCap := frontierDepth + splitSlack
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := newSearcher()
+			tk := &ticker{sh: sh}
+			defer tk.flush()
+			rng := xorshift(0x9E3779B97F4A7C15 ^ uint64(id+1)*0xBF58476D1CE4E5B9)
+			idleSweeps := 0
+			for {
+				if sh.stop.Load() {
+					return
+				}
+				sp, ok := sh.deques[id].take()
+				stolen := false
+				if !ok {
+					sp, ok = stealSweep(sh, id, &rng)
+					stolen = ok
+					if !ok {
+						if sh.pending.Load() == 0 {
+							return
+						}
+						idleSweeps++
+						if idleSweeps%64 == 0 {
+							time.Sleep(100 * time.Microsecond)
+						} else {
+							runtime.Gosched()
+						}
+						continue
+					}
+				}
+				idleSweeps = 0
+				if stolen {
+					sh.steals.Add(1)
+					// Work was scarce enough that somebody had to steal:
+					// re-split the stolen subtree one level so the spare
+					// parts are themselves stealable.
+					if len(sp) < splitCap && len(sp) < s.depth()-1 {
+						kids := s.expand(sp, tk)
+						sh.pending.Add(int64(len(kids)) - 1)
+						if len(kids) == 0 {
+							continue // pruned outright; pending already settled
+						}
+						sh.splits.Add(1)
+						for _, c := range kids[1:] {
+							child := make([]int32, len(sp)+1)
+							copy(child, sp)
+							child[len(sp)] = c
+							sh.deques[id].push(child)
+						}
+						child := make([]int32, len(sp)+1)
+						copy(child, sp)
+						child[len(sp)] = kids[0]
+						sp = child
+					}
+				}
+				// pending is raised before the continuations hit the
+				// deque so it never undercounts outstanding work (a
+				// racing worker could otherwise observe zero and exit).
+				conts := s.run(sp, tk)
+				sh.pending.Add(int64(len(conts)) - 1)
+				for _, c := range conts {
+					sh.deques[id].push(c)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func stealSweep(sh *parShared, id int, rng *xorshift) ([]int32, bool) {
+	n := len(sh.deques)
+	off := int(rng.next() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := (off + i) % n
+		if v == id {
+			continue
+		}
+		if p, ok := sh.deques[v].take(); ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// genFrontier breadth-first-expands the tree root until at least target
+// open subproblems exist (or the whole tree is exhausted — tiny instances
+// finish right here). Complete prefixes are offered as incumbents by
+// expand's caller (run handles them), so the returned frontier holds only
+// interior nodes. Returns the frontier and its maximum depth.
+func genFrontier(s parSearcher, tk *ticker, target int) ([][]int32, int) {
+	queue := [][]int32{{}}
+	head := 0
+	n := s.depth()
+	for head < len(queue) && len(queue)-head < target {
+		if tk.sh.stop.Load() {
+			break
+		}
+		node := queue[head]
+		head++
+		if len(node) == n {
+			// A complete assignment surfaced during the shallow split
+			// (tiny instance): evaluate it as a leaf.
+			s.run(node, tk)
+			continue
+		}
+		for _, c := range s.expand(node, tk) {
+			child := make([]int32, len(node)+1)
+			copy(child, node)
+			child[len(node)] = c
+			queue = append(queue, child)
+		}
+	}
+	frontier := queue[head:]
+	maxDepth := 0
+	for _, p := range frontier {
+		if len(p) > maxDepth {
+			maxDepth = len(p)
+		}
+	}
+	return frontier, maxDepth
+}
+
+// watchCancel flips the shared stop flag when ctx ends; the returned
+// release func must be called before reading the result.
+func watchCancel(ctx context.Context, sh *parShared) (release func()) {
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-done:
+			sh.cancelled.Store(true)
+			sh.stop.Store(true)
+		case <-quit:
+		}
+	}()
+	return func() { once.Do(func() { close(quit) }); wg.Wait() }
+}
+
+// --- SINGLEPROC ---
+
+// spProblem is the immutable, preprocessed shape of one SINGLEPROC search,
+// shared read-only by all workers.
+type spProblem struct {
+	g    *bipartite.Graph
+	n, p int
+	// order is the branch order (fewest eligible processors first);
+	// childProc/childWt list position i's candidate processors cheapest
+	// edge first.
+	order     []int32
+	childProc [][]int32
+	childWt   [][]int64
+	// suffixAvg[i] = Σ_{j≥i} min-cost of order[j]: the average-load bound.
+	suffixAvg []int64
+	// suffixMax[i] = max_{j≥i} min-cost of order[j]: the max-element
+	// bound — the heaviest remaining task lands whole on some processor.
+	suffixMax []int64
+	// sig groups interchangeable processors (verified automorphisms); -1
+	// marks processors with no symmetric partner. nil when the instance
+	// has no symmetry at all.
+	sig []int32
+	// childClass[i][k] is the static symmetry class of child k at
+	// position i: two children share a class iff they place the same
+	// weight on processors of the same symmetry group, so they are
+	// interchangeable whenever their current loads coincide. -1 marks
+	// children with no statically symmetric sibling, which keeps the
+	// per-node check to one integer compare in the common case. nil when
+	// sig is nil.
+	childClass [][]int16
+}
+
+func newSPProblem(g *bipartite.Graph) *spProblem {
+	n, p := g.NLeft, g.NRight
+	pr := &spProblem{g: g, n: n, p: p}
+	pr.order = make([]int32, n)
+	for i := range pr.order {
+		pr.order[i] = int32(i)
+	}
+	sort.SliceStable(pr.order, func(i, j int) bool {
+		return g.Degree(int(pr.order[i])) < g.Degree(int(pr.order[j]))
+	})
+
+	pr.childProc = make([][]int32, n)
+	pr.childWt = make([][]int64, n)
+	for i, t := range pr.order {
+		row := g.Neighbors(int(t))
+		w := g.Weights(int(t))
+		procs := append([]int32(nil), row...)
+		wts := make([]int64, len(row))
+		for k := range wts {
+			if w != nil {
+				wts[k] = w[k]
+			} else {
+				wts[k] = 1
+			}
+		}
+		// Cheapest edge first: early incumbents tighten the shared bound
+		// for everyone. Stable on the original adjacency order.
+		idx := make([]int, len(row))
+		for k := range idx {
+			idx[k] = k
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return wts[idx[a]] < wts[idx[b]] })
+		sp, sw := make([]int32, len(row)), make([]int64, len(row))
+		for k, j := range idx {
+			sp[k], sw[k] = procs[j], wts[j]
+		}
+		pr.childProc[i], pr.childWt[i] = sp, sw
+	}
+
+	pr.suffixAvg = make([]int64, n+1)
+	pr.suffixMax = make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		minC := pr.childWt[i][0] // children sorted by weight
+		pr.suffixAvg[i] = pr.suffixAvg[i+1] + minC
+		pr.suffixMax[i] = pr.suffixMax[i+1]
+		if minC > pr.suffixMax[i] {
+			pr.suffixMax[i] = minC
+		}
+	}
+
+	pr.sig = spProcGroups(g)
+	if pr.sig != nil {
+		pr.childClass = make([][]int16, n)
+		for i := range pr.childProc {
+			procs, wts := pr.childProc[i], pr.childWt[i]
+			cls := make([]int16, len(procs))
+			type key struct {
+				sig int32
+				wt  int64
+			}
+			seen := map[key]int16{}
+			next := int16(0)
+			for k, p := range procs {
+				cls[k] = -1
+				if pr.sig[p] < 0 {
+					continue
+				}
+				kk := key{pr.sig[p], wts[k]}
+				if id, ok := seen[kk]; ok {
+					cls[k] = id
+				} else {
+					seen[kk] = next
+					cls[k] = next
+					next++
+				}
+			}
+			// Demote classes with a single member: no sibling to
+			// deduplicate against.
+			count := map[int16]int{}
+			for _, c := range cls {
+				if c >= 0 {
+					count[c]++
+				}
+			}
+			for k, c := range cls {
+				if c >= 0 && count[c] < 2 {
+					cls[k] = -1
+				}
+			}
+			pr.childClass[i] = cls
+		}
+	}
+	return pr
+}
+
+// spProcGroups groups processors with identical (task, weight) incidence
+// rows: swapping two such processors is an automorphism of the instance.
+// Returns nil when no group has two members.
+func spProcGroups(g *bipartite.Graph) []int32 {
+	enc := make([][]byte, g.NRight)
+	var buf [2 * binary.MaxVarintLen64]byte
+	for t := 0; t < g.NLeft; t++ {
+		row := g.Neighbors(t)
+		w := g.Weights(t)
+		for k, p := range row {
+			wt := int64(1)
+			if w != nil {
+				wt = w[k]
+			}
+			// Tasks are visited in ascending order, so each processor's
+			// encoding is already canonical.
+			m := binary.PutVarint(buf[:], int64(t))
+			m += binary.PutVarint(buf[m:], wt)
+			enc[p] = append(enc[p], buf[:m]...)
+		}
+	}
+	groups := map[string][]int32{}
+	for p := range enc {
+		k := string(enc[p])
+		groups[k] = append(groups[k], int32(p))
+	}
+	sig := make([]int32, g.NRight)
+	for i := range sig {
+		sig[i] = -1
+	}
+	id := int32(0)
+	any := false
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		any = true
+		for _, p := range members {
+			sig[p] = id
+		}
+		id++
+	}
+	if !any {
+		return nil
+	}
+	return sig
+}
+
+// spState is one worker's mutable search state.
+type spState struct {
+	pr    *spProblem
+	sh    *parShared
+	loads []int64
+	cur   []int32
+	total int64
+	// ords/entry are the explicit DFS stack scratch: the child ordinal
+	// applied at each depth, and the partial makespan at each node entry.
+	ords  []int32
+	entry []int64
+}
+
+func newSPState(pr *spProblem, sh *parShared) *spState {
+	// cur needs no initialization: every position is written by replay or
+	// the DFS before a complete assignment is offered.
+	return &spState{
+		pr:    pr,
+		sh:    sh,
+		loads: make([]int64, pr.p),
+		cur:   make([]int32, pr.n),
+		ords:  make([]int32, pr.n),
+		entry: make([]int64, pr.n+1),
+	}
+}
+
+func (s *spState) depth() int { return s.pr.n }
+
+// replay rebuilds loads/cur/total from a choice prefix and returns the
+// partial makespan.
+func (s *spState) replay(prefix []int32) int64 {
+	for i := range s.loads {
+		s.loads[i] = 0
+	}
+	s.total = 0
+	var curMax int64
+	for d, ord := range prefix {
+		proc := s.pr.childProc[d][ord]
+		wt := s.pr.childWt[d][ord]
+		s.loads[proc] += wt
+		s.total += wt
+		if s.loads[proc] > curMax {
+			curMax = s.loads[proc]
+		}
+		s.cur[s.pr.order[d]] = proc
+	}
+	return curMax
+}
+
+// dupSibling reports whether child k of position i is symmetric to an
+// earlier sibling: same weight onto an interchangeable processor carrying
+// the same load. The earlier sibling's subtree is isomorphic, so this one
+// is redundant. Equality is transitive, so checking against all earlier
+// siblings (explored or themselves skipped) is sound.
+func (s *spState) dupSibling(i int, k int) bool {
+	cls := s.pr.childClass[i]
+	c := cls[k]
+	if c < 0 {
+		return false
+	}
+	procs := s.pr.childProc[i]
+	lk := s.loads[procs[k]]
+	for k2 := 0; k2 < k; k2++ {
+		if cls[k2] == c && s.loads[procs[k2]] == lk {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *spState) bound(i int, curMax int64) bool {
+	best := s.sh.best.Load()
+	if curMax >= best {
+		return false
+	}
+	pr := s.pr
+	lb := (s.total + pr.suffixAvg[i] + int64(pr.p) - 1) / int64(pr.p)
+	return lb < best && pr.suffixMax[i] < best
+}
+
+func (s *spState) expand(prefix []int32, tk *ticker) []int32 {
+	curMax := s.replay(prefix)
+	i := len(prefix)
+	if tk.node() {
+		return nil
+	}
+	if i == s.pr.n {
+		s.sh.offer(curMax, s.cur)
+		return nil
+	}
+	if !s.bound(i, curMax) {
+		return nil
+	}
+	var out []int32
+	for k := range s.pr.childProc[i] {
+		if s.pr.sig != nil && s.dupSibling(i, k) {
+			continue
+		}
+		out = append(out, int32(k))
+	}
+	return out
+}
+
+// nextChild returns the first surviving child ordinal ≥ from at position
+// i (symmetry duplicates skipped), or -1.
+func (s *spState) nextChild(i, from int) int {
+	procs := s.pr.childProc[i]
+	for k := from; k < len(procs); k++ {
+		if s.pr.sig != nil && s.dupSibling(i, k) {
+			continue
+		}
+		return k
+	}
+	return -1
+}
+
+// run explores prefix's subtree for up to chunkNodes nodes with an
+// explicit-stack DFS. On chunk exhaustion it suspends: the unexplored
+// remainder — the current node plus every untried sibling on the path —
+// is serialized into continuation prefixes and returned for requeueing.
+func (s *spState) run(prefix []int32, tk *ticker) [][]int32 {
+	pr := s.pr
+	base := len(prefix)
+	entry := s.entry[:pr.n-base+1]
+	ords := s.ords[:max(pr.n-base, 0)]
+	entry[0] = s.replay(prefix)
+	chunk := int64(chunkNodes)
+	depth := 0
+	descend := true
+	for {
+		if descend {
+			if tk.node() {
+				return nil // stopped; loads are rebuilt by the next replay
+			}
+			chunk--
+			i := base + depth
+			if i == pr.n {
+				s.sh.offer(entry[depth], s.cur)
+				descend = false
+				continue
+			}
+			if !s.bound(i, entry[depth]) {
+				descend = false
+				continue
+			}
+			if chunk <= 0 {
+				return s.suspend(prefix, ords[:depth])
+			}
+			k := s.nextChild(i, 0)
+			if k < 0 {
+				descend = false
+				continue
+			}
+			ords[depth] = int32(k)
+			entry[depth+1] = s.apply(i, k, entry[depth])
+			depth++
+			continue
+		}
+		if depth == 0 {
+			return nil
+		}
+		depth--
+		i := base + depth
+		k := int(ords[depth])
+		s.undo(i, k)
+		if k = s.nextChild(i, k+1); k < 0 {
+			continue
+		}
+		ords[depth] = int32(k)
+		entry[depth+1] = s.apply(i, k, entry[depth])
+		depth++
+		descend = true
+	}
+}
+
+// apply places child k of position i and returns the new partial
+// makespan.
+func (s *spState) apply(i, k int, curMax int64) int64 {
+	proc, wt := s.pr.childProc[i][k], s.pr.childWt[i][k]
+	s.loads[proc] += wt
+	s.total += wt
+	s.cur[s.pr.order[i]] = proc
+	if s.loads[proc] > curMax {
+		return s.loads[proc]
+	}
+	return curMax
+}
+
+func (s *spState) undo(i, k int) {
+	proc, wt := s.pr.childProc[i][k], s.pr.childWt[i][k]
+	s.loads[proc] -= wt
+	s.total -= wt
+}
+
+// suspend serializes the unexplored remainder of a chunked-out dive: the
+// current node itself, plus — unwinding the applied path — every untried
+// sibling at each level, symmetry-filtered under the loads of its own
+// level.
+func (s *spState) suspend(prefix []int32, ords []int32) [][]int32 {
+	conts := [][]int32{concatPrefix(prefix, ords)}
+	for d := len(ords) - 1; d >= 0; d-- {
+		i := len(prefix) + d
+		k := int(ords[d])
+		s.undo(i, k)
+		for k = s.nextChild(i, k+1); k >= 0; k = s.nextChild(i, k+1) {
+			c := concatPrefix(prefix, ords[:d])
+			conts = append(conts, append(c, int32(k)))
+		}
+	}
+	return conts
+}
+
+func concatPrefix(prefix, ords []int32) []int32 {
+	out := make([]int32, 0, len(prefix)+len(ords)+1)
+	out = append(out, prefix...)
+	return append(out, ords...)
+}
+
+// SolveSingleProcPar is SolveSingleProc on the parallel work-stealing
+// branch-and-bound engine.
+func SolveSingleProcPar(g *bipartite.Graph, opts Options) (core.Assignment, int64, error) {
+	return SolveSingleProcParCtx(context.Background(), g, opts)
+}
+
+// SolveSingleProcParCtx computes an optimal SINGLEPROC schedule on the
+// parallel engine: the search tree is split at a shallow frontier across
+// Options.Workers work-stealing workers sharing one incumbent bound and
+// one node budget. The error contract matches SolveSingleProcCtx: on
+// budget exhaustion or cancellation the best incumbent found by any worker
+// is returned alongside ErrLimit / ErrCancelled. The optimal makespan is
+// deterministic; which optimal schedule is returned may vary across runs
+// when several exist.
+func SolveSingleProcParCtx(ctx context.Context, g *bipartite.Graph, opts Options) (core.Assignment, int64, error) {
+	n, p := g.NLeft, g.NRight
+	if p == 0 && n > 0 {
+		return nil, 0, fmt.Errorf("exact: no processors")
+	}
+	for t := 0; t < n; t++ {
+		if g.Degree(t) == 0 {
+			return nil, 0, fmt.Errorf("exact: task %d has no eligible processor", t)
+		}
+	}
+	if n == 0 {
+		return core.Assignment{}, 0, nil
+	}
+
+	pr := newSPProblem(g)
+	inc := core.SortedGreedy(g, core.GreedyOptions{})
+	workers := opts.workers()
+	sh := newParShared(inc, core.Makespan(g, inc), opts.maxNodes(), workers)
+	release := watchCancel(ctx, sh)
+	defer release()
+
+	root := newSPState(pr, sh)
+	tk := &ticker{sh: sh}
+	frontier, fdepth := genFrontier(root, tk, workers*splitFactor)
+	tk.flush()
+	if len(frontier) > 0 && !sh.stop.Load() {
+		runPool(sh, func() parSearcher { return newSPState(pr, sh) }, frontier, workers, fdepth)
+	}
+	release()
+	if opts.Stats != nil {
+		*opts.Stats = SearchStats{
+			Nodes:       sh.nodes.Load(),
+			Workers:     workers,
+			Subproblems: int64(len(frontier)) + sh.splits.Load(),
+			Steals:      sh.steals.Load(),
+		}
+	}
+	return append(core.Assignment(nil), sh.bestA...), sh.bestM, sh.err(ctx)
+}
+
+// --- MULTIPROC ---
+
+// mpProblem is the immutable, preprocessed shape of one MULTIPROC search.
+type mpProblem struct {
+	h    *hypergraph.Hypergraph
+	n, p int
+	// order is the branch order; childEdge lists position i's hyperedges
+	// cheapest total cost first.
+	order     []int32
+	childEdge [][]int32
+	cost      []int64 // per edge: w_e·|h_e∩V2|
+	suffixAvg []int64
+	suffixMax []int64
+	// sig groups interchangeable processors; -1 marks processors with no
+	// verified symmetric partner. nil disables symmetry breaking.
+	sig []int32
+	// childClass[i][k] is the static symmetry class of child k at
+	// position i: two children share a class iff they have the same
+	// weight and their pin sets match as multisets of (symmetry group |
+	// fixed processor) — interchangeable whenever current loads agree.
+	// -1 marks children with no statically symmetric sibling. nil when
+	// sig is nil.
+	childClass [][]int16
+	maxSize    int
+}
+
+func newMPProblem(h *hypergraph.Hypergraph) *mpProblem {
+	n, p := h.NTasks, h.NProcs
+	pr := &mpProblem{h: h, n: n, p: p}
+	pr.order = make([]int32, n)
+	for i := range pr.order {
+		pr.order[i] = int32(i)
+	}
+	sort.SliceStable(pr.order, func(i, j int) bool {
+		return h.TaskDegree(int(pr.order[i])) < h.TaskDegree(int(pr.order[j]))
+	})
+
+	pr.cost = make([]int64, h.NumEdges())
+	for e := range pr.cost {
+		pr.cost[e] = h.Weight[e] * int64(h.EdgeSize(int32(e)))
+	}
+
+	pr.childEdge = make([][]int32, n)
+	for i, t := range pr.order {
+		edges := append([]int32(nil), h.TaskEdges(int(t))...)
+		sort.SliceStable(edges, func(a, b int) bool { return pr.cost[edges[a]] < pr.cost[edges[b]] })
+		pr.childEdge[i] = edges
+	}
+
+	pr.suffixAvg = make([]int64, n+1)
+	pr.suffixMax = make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		minC := pr.cost[pr.childEdge[i][0]] // sorted by cost
+		// The max-element bound uses the edge weight: choosing any
+		// configuration of this task puts at least its cheapest weight
+		// whole onto some processor.
+		minW := int64(-1)
+		for _, e := range pr.childEdge[i] {
+			if w := h.Weight[e]; minW < 0 || w < minW {
+				minW = w
+			}
+		}
+		pr.suffixAvg[i] = pr.suffixAvg[i+1] + minC
+		pr.suffixMax[i] = pr.suffixMax[i+1]
+		if minW > pr.suffixMax[i] {
+			pr.suffixMax[i] = minW
+		}
+	}
+
+	_, pr.maxSize = h.MinMaxEdgeSize()
+	pr.sig = mpProcGroups(h)
+	if pr.sig != nil {
+		pr.childClass = make([][]int16, n)
+		var enc []byte
+		var buf [binary.MaxVarintLen64]byte
+		keys := make([]int32, 0, pr.maxSize)
+		for i := range pr.childEdge {
+			edges := pr.childEdge[i]
+			cls := make([]int16, len(edges))
+			seen := map[string]int16{}
+			next := int16(0)
+			for k, e := range edges {
+				cls[k] = -1
+				grouped := false
+				keys = keys[:0]
+				for _, u := range h.EdgeProcs(e) {
+					s := pr.sig[u]
+					if s >= 0 {
+						grouped = true
+					} else {
+						s = ^u
+					}
+					keys = append(keys, s)
+				}
+				if !grouped {
+					// Without a grouped pin the only symmetric sibling
+					// would be a literal duplicate edge; not worth a class.
+					continue
+				}
+				sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+				enc = enc[:0]
+				enc = append(enc, buf[:binary.PutVarint(buf[:], h.Weight[e])]...)
+				for _, s := range keys {
+					enc = append(enc, buf[:binary.PutVarint(buf[:], int64(s))]...)
+				}
+				if id, ok := seen[string(enc)]; ok {
+					cls[k] = id
+				} else {
+					seen[string(enc)] = next
+					cls[k] = next
+					next++
+				}
+			}
+			count := map[int16]int{}
+			for _, c := range cls {
+				if c >= 0 {
+					count[c]++
+				}
+			}
+			for k, c := range cls {
+				if c >= 0 && count[c] < 2 {
+					cls[k] = -1
+				}
+			}
+			pr.childClass[i] = cls
+		}
+	}
+	return pr
+}
+
+// mpProcGroups finds processors whose transposition is an automorphism of
+// the hypergraph — swapping them maps the hyperedge multiset onto itself,
+// preserving owners and weights. The check is exact: candidate pairs come
+// from a cheap incidence invariant, then each pair is verified by mapping
+// every incident hyperedge through the swap and looking the image up in
+// the edge multiset. Returns nil when no group has two members or the
+// instance exceeds the detection gates.
+func mpProcGroups(h *hypergraph.Hypergraph) []int32 {
+	if h.NProcs > symProcCap || h.NumEdges() > symEdgeCap {
+		return nil
+	}
+	// Cheap invariant: sorted (owner, weight, size) profile per processor.
+	prof := make([][]byte, h.NProcs)
+	var buf [3 * binary.MaxVarintLen64]byte
+	for e := 0; e < h.NumEdges(); e++ {
+		m := binary.PutVarint(buf[:], int64(h.Owner[e]))
+		m += binary.PutVarint(buf[m:], h.Weight[e])
+		m += binary.PutVarint(buf[m:], int64(h.EdgeSize(int32(e))))
+		for _, u := range h.EdgeProcs(int32(e)) {
+			prof[u] = append(prof[u], buf[:m]...)
+		}
+	}
+	// Edges are visited in ascending id order, so profiles are canonical.
+	cand := map[string][]int32{}
+	for u := range prof {
+		k := string(prof[u])
+		cand[k] = append(cand[k], int32(u))
+	}
+
+	// Edge multiset keyed by (owner, weight, pins).
+	edgeKey := func(owner int32, w int64, pins []int32) string {
+		b := make([]byte, 0, (len(pins)+2)*binary.MaxVarintLen64)
+		var t [binary.MaxVarintLen64]byte
+		b = append(b, t[:binary.PutVarint(t[:], int64(owner))]...)
+		b = append(b, t[:binary.PutVarint(t[:], w)]...)
+		for _, u := range pins {
+			b = append(b, t[:binary.PutVarint(t[:], int64(u))]...)
+		}
+		return string(b)
+	}
+	count := map[string]int{}
+	keys := make([]string, h.NumEdges())
+	for e := 0; e < h.NumEdges(); e++ {
+		k := edgeKey(h.Owner[e], h.Weight[e], h.EdgeProcs(int32(e)))
+		keys[e] = k
+		count[k]++
+	}
+	// incident[u] = edges containing processor u.
+	incident := make([][]int32, h.NProcs)
+	for e := 0; e < h.NumEdges(); e++ {
+		for _, u := range h.EdgeProcs(int32(e)) {
+			incident[u] = append(incident[u], int32(e))
+		}
+	}
+	swapPins := func(pins []int32, a, b int32) []int32 {
+		out := append([]int32(nil), pins...)
+		for i, u := range out {
+			switch u {
+			case a:
+				out[i] = b
+			case b:
+				out[i] = a
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	contains := func(pins []int32, u int32) bool {
+		for _, v := range pins {
+			if v == u {
+				return true
+			}
+		}
+		return false
+	}
+	// verify checks that the transposition (a b) maps the edge multiset
+	// onto itself. Because a transposition is an involution, it suffices
+	// that every edge incident to exactly one of {a,b} has an image class
+	// of equal multiplicity.
+	verify := func(a, b int32) bool {
+		for _, side := range [][]int32{incident[a], incident[b]} {
+			for _, e := range side {
+				pins := h.EdgeProcs(e)
+				if contains(pins, a) && contains(pins, b) {
+					continue // swap fixes the pin set
+				}
+				img := edgeKey(h.Owner[e], h.Weight[e], swapPins(pins, a, b))
+				if count[img] != count[keys[e]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	sig := make([]int32, h.NProcs)
+	for i := range sig {
+		sig[i] = -1
+	}
+	id := int32(0)
+	any := false
+	for _, members := range cand {
+		if len(members) < 2 {
+			continue
+		}
+		// Greedy class building with verified transpositions against each
+		// class representative. Verified (a,r) and (b,r) compose to a
+		// verified symmetry between a and b.
+		var reps []int32
+		var repIDs []int32
+		for _, u := range members {
+			placed := false
+			for ri, r := range reps {
+				if verify(r, u) {
+					sig[u] = repIDs[ri]
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				reps = append(reps, u)
+				repIDs = append(repIDs, id)
+				sig[u] = id
+				id++
+			}
+		}
+	}
+	// Demote singleton classes: a processor with no verified partner gets
+	// no signature (keeps the per-node sibling scan cheap).
+	classSize := map[int32]int{}
+	for _, s := range sig {
+		if s >= 0 {
+			classSize[s]++
+		}
+	}
+	for i, s := range sig {
+		if s >= 0 && classSize[s] < 2 {
+			sig[i] = -1
+		} else if s >= 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return sig
+}
+
+// mpState is one worker's mutable MULTIPROC search state.
+type mpState struct {
+	pr    *mpProblem
+	sh    *parShared
+	loads []int64
+	cur   []int32
+	total int64
+	// ords/entry are the explicit DFS stack scratch: the child ordinal
+	// applied at each depth, and the partial makespan at each node entry.
+	ords  []int32
+	entry []int64
+	// scratch pair buffers for the symmetry comparison.
+	pairA, pairB []symPair
+}
+
+type symPair struct {
+	key  int32
+	load int64
+}
+
+func newMPState(pr *mpProblem, sh *parShared) *mpState {
+	return &mpState{
+		pr:    pr,
+		sh:    sh,
+		loads: make([]int64, pr.p),
+		cur:   make([]int32, pr.n),
+		ords:  make([]int32, pr.n),
+		entry: make([]int64, pr.n+1),
+		pairA: make([]symPair, 0, pr.maxSize),
+		pairB: make([]symPair, 0, pr.maxSize),
+	}
+}
+
+func (s *mpState) depth() int { return s.pr.n }
+
+func (s *mpState) replay(prefix []int32) int64 {
+	for i := range s.loads {
+		s.loads[i] = 0
+	}
+	s.total = 0
+	var curMax int64
+	h := s.pr.h
+	for d, ord := range prefix {
+		e := s.pr.childEdge[d][ord]
+		w := h.Weight[e]
+		for _, u := range h.EdgeProcs(e) {
+			s.loads[u] += w
+			if s.loads[u] > curMax {
+				curMax = s.loads[u]
+			}
+		}
+		s.total += s.pr.cost[e]
+		s.cur[s.pr.order[d]] = e
+	}
+	return curMax
+}
+
+// fillPairs builds edge e's (group-or-identity, current-load) multiset,
+// insertion-sorted. Processors without a symmetry group keep their
+// identity (encoded disjointly as ^proc), so equality of two multisets
+// certifies an automorphism mapping one edge to the other while fixing
+// every current load.
+func (s *mpState) fillPairs(dst []symPair, e int32) []symPair {
+	dst = dst[:0]
+	sig := s.pr.sig
+	for _, u := range s.pr.h.EdgeProcs(e) {
+		k := sig[u]
+		if k < 0 {
+			k = ^u
+		}
+		pair := symPair{key: k, load: s.loads[u]}
+		j := len(dst)
+		dst = append(dst, pair)
+		for j > 0 && (dst[j-1].key > pair.key || (dst[j-1].key == pair.key && dst[j-1].load > pair.load)) {
+			dst[j] = dst[j-1]
+			j--
+		}
+		dst[j] = pair
+	}
+	return dst
+}
+
+// dupSibling reports whether child k of position i is symmetric to an
+// earlier sibling edge: statically interchangeable (same childClass) and
+// an automorphism maps one pin set to the other preserving current loads.
+func (s *mpState) dupSibling(i, k int) bool {
+	pr := s.pr
+	cls := pr.childClass[i]
+	c := cls[k]
+	if c < 0 {
+		return false
+	}
+	h := pr.h
+	edges := pr.childEdge[i]
+	e := edges[k]
+	pins := h.EdgeProcs(e)
+	if len(pins) == 1 {
+		// Singleton fast path (identical-machines shape): the dynamic
+		// condition degenerates to one load compare.
+		lk := s.loads[pins[0]]
+		for k2 := 0; k2 < k; k2++ {
+			if cls[k2] == c && s.loads[h.EdgeProcs(edges[k2])[0]] == lk {
+				return true
+			}
+		}
+		return false
+	}
+	var filledA bool
+	for k2 := 0; k2 < k; k2++ {
+		if cls[k2] != c {
+			continue
+		}
+		if !filledA {
+			s.pairA = s.fillPairs(s.pairA, e)
+			filledA = true
+		}
+		s.pairB = s.fillPairs(s.pairB, edges[k2])
+		same := true
+		for j := range s.pairA {
+			if s.pairA[j] != s.pairB[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *mpState) bound(i int, curMax int64) bool {
+	best := s.sh.best.Load()
+	if curMax >= best {
+		return false
+	}
+	pr := s.pr
+	lb := (s.total + pr.suffixAvg[i] + int64(pr.p) - 1) / int64(pr.p)
+	return lb < best && pr.suffixMax[i] < best
+}
+
+func (s *mpState) expand(prefix []int32, tk *ticker) []int32 {
+	curMax := s.replay(prefix)
+	i := len(prefix)
+	if tk.node() {
+		return nil
+	}
+	if i == s.pr.n {
+		s.sh.offer(curMax, s.cur)
+		return nil
+	}
+	if !s.bound(i, curMax) {
+		return nil
+	}
+	var out []int32
+	for k := range s.pr.childEdge[i] {
+		if s.pr.sig != nil && s.dupSibling(i, k) {
+			continue
+		}
+		out = append(out, int32(k))
+	}
+	return out
+}
+
+// nextChild returns the first surviving child ordinal ≥ from at position
+// i (symmetry duplicates skipped), or -1.
+func (s *mpState) nextChild(i, from int) int {
+	edges := s.pr.childEdge[i]
+	for k := from; k < len(edges); k++ {
+		if s.pr.sig != nil && s.dupSibling(i, k) {
+			continue
+		}
+		return k
+	}
+	return -1
+}
+
+// run explores prefix's subtree for up to chunkNodes nodes with an
+// explicit-stack DFS; see spState.run for the suspension contract.
+func (s *mpState) run(prefix []int32, tk *ticker) [][]int32 {
+	pr := s.pr
+	base := len(prefix)
+	entry := s.entry[:pr.n-base+1]
+	ords := s.ords[:max(pr.n-base, 0)]
+	entry[0] = s.replay(prefix)
+	chunk := int64(chunkNodes)
+	depth := 0
+	descend := true
+	for {
+		if descend {
+			if tk.node() {
+				return nil // stopped; loads are rebuilt by the next replay
+			}
+			chunk--
+			i := base + depth
+			if i == pr.n {
+				s.sh.offer(entry[depth], s.cur)
+				descend = false
+				continue
+			}
+			if !s.bound(i, entry[depth]) {
+				descend = false
+				continue
+			}
+			if chunk <= 0 {
+				return s.suspend(prefix, ords[:depth])
+			}
+			k := s.nextChild(i, 0)
+			if k < 0 {
+				descend = false
+				continue
+			}
+			ords[depth] = int32(k)
+			entry[depth+1] = s.apply(i, k, entry[depth])
+			depth++
+			continue
+		}
+		if depth == 0 {
+			return nil
+		}
+		depth--
+		i := base + depth
+		k := int(ords[depth])
+		s.undo(i, k)
+		if k = s.nextChild(i, k+1); k < 0 {
+			continue
+		}
+		ords[depth] = int32(k)
+		entry[depth+1] = s.apply(i, k, entry[depth])
+		depth++
+		descend = true
+	}
+}
+
+// apply places child k of position i and returns the new partial
+// makespan.
+func (s *mpState) apply(i, k int, curMax int64) int64 {
+	pr := s.pr
+	e := pr.childEdge[i][k]
+	w := pr.h.Weight[e]
+	for _, u := range pr.h.EdgeProcs(e) {
+		s.loads[u] += w
+		if s.loads[u] > curMax {
+			curMax = s.loads[u]
+		}
+	}
+	s.total += pr.cost[e]
+	s.cur[pr.order[i]] = e
+	return curMax
+}
+
+func (s *mpState) undo(i, k int) {
+	pr := s.pr
+	e := pr.childEdge[i][k]
+	w := pr.h.Weight[e]
+	for _, u := range pr.h.EdgeProcs(e) {
+		s.loads[u] -= w
+	}
+	s.total -= pr.cost[e]
+}
+
+// suspend serializes the unexplored remainder of a chunked-out dive; see
+// spState.suspend.
+func (s *mpState) suspend(prefix []int32, ords []int32) [][]int32 {
+	conts := [][]int32{concatPrefix(prefix, ords)}
+	for d := len(ords) - 1; d >= 0; d-- {
+		i := len(prefix) + d
+		k := int(ords[d])
+		s.undo(i, k)
+		for k = s.nextChild(i, k+1); k >= 0; k = s.nextChild(i, k+1) {
+			c := concatPrefix(prefix, ords[:d])
+			conts = append(conts, append(c, int32(k)))
+		}
+	}
+	return conts
+}
+
+// SolveMultiProcPar is SolveMultiProc on the parallel work-stealing
+// branch-and-bound engine.
+func SolveMultiProcPar(h *hypergraph.Hypergraph, opts Options) (core.HyperAssignment, int64, error) {
+	return SolveMultiProcParCtx(context.Background(), h, opts)
+}
+
+// SolveMultiProcParCtx computes an optimal MULTIPROC schedule on the
+// parallel engine; see SolveSingleProcParCtx for the concurrency and
+// error contract.
+func SolveMultiProcParCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (core.HyperAssignment, int64, error) {
+	n, p := h.NTasks, h.NProcs
+	if n == 0 {
+		return core.HyperAssignment{}, 0, nil
+	}
+	if p == 0 {
+		return nil, 0, fmt.Errorf("exact: no processors")
+	}
+	for t := 0; t < n; t++ {
+		if h.TaskDegree(t) == 0 {
+			return nil, 0, fmt.Errorf("exact: task %d has no configuration", t)
+		}
+	}
+
+	pr := newMPProblem(h)
+	inc := core.SortedGreedyHyp(h, core.HyperOptions{})
+	workers := opts.workers()
+	sh := newParShared(inc, core.HyperMakespan(h, inc), opts.maxNodes(), workers)
+	release := watchCancel(ctx, sh)
+	defer release()
+
+	root := newMPState(pr, sh)
+	tk := &ticker{sh: sh}
+	frontier, fdepth := genFrontier(root, tk, workers*splitFactor)
+	tk.flush()
+	if len(frontier) > 0 && !sh.stop.Load() {
+		runPool(sh, func() parSearcher { return newMPState(pr, sh) }, frontier, workers, fdepth)
+	}
+	release()
+	if opts.Stats != nil {
+		*opts.Stats = SearchStats{
+			Nodes:       sh.nodes.Load(),
+			Workers:     workers,
+			Subproblems: int64(len(frontier)) + sh.splits.Load(),
+			Steals:      sh.steals.Load(),
+		}
+	}
+	return append(core.HyperAssignment(nil), sh.bestA...), sh.bestM, sh.err(ctx)
+}

@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -376,37 +377,39 @@ func benchGraph(nL, nR, deg int, seed int64) Graph {
 	return fixedRight{a, nR}
 }
 
-func BenchmarkHopcroftKarp(b *testing.B) {
-	g := benchGraph(20000, 20000, 5, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		HopcroftKarp(g)
+// benchSizes is the shared size grid of the matching-kernel
+// micro-benchmarks. Sub-benchmark names are benchstat-friendly
+// (key=value segments, fixed seed 1), so two runs diff cleanly with
+//
+//	go test -run '^$' -bench 'KarpSipser|HopcroftKarp|PushRelabel' \
+//	    -count 10 ./internal/matching/ | benchstat old.txt new.txt
+var benchSizes = []struct {
+	n, deg int
+}{
+	{5000, 5},
+	{20000, 5},
+	{20000, 10},
+}
+
+func benchKernel(b *testing.B, kernel func(Graph) []int32) {
+	b.Helper()
+	for _, sz := range benchSizes {
+		g := benchGraph(sz.n, sz.n, sz.deg, 1)
+		b.Run(fmt.Sprintf("n=%d/deg=%d", sz.n, sz.deg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kernel(g)
+			}
+		})
 	}
 }
 
-func BenchmarkPushRelabel(b *testing.B) {
-	g := benchGraph(20000, 20000, 5, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		PushRelabel(g)
-	}
-}
+func BenchmarkHopcroftKarp(b *testing.B) { benchKernel(b, HopcroftKarp) }
 
-func BenchmarkKuhn(b *testing.B) {
-	g := benchGraph(20000, 20000, 5, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		Kuhn(g)
-	}
-}
+func BenchmarkPushRelabel(b *testing.B) { benchKernel(b, PushRelabel) }
 
-func BenchmarkKarpSipser(b *testing.B) {
-	g := benchGraph(20000, 20000, 5, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		KarpSipser(g)
-	}
-}
+func BenchmarkKuhn(b *testing.B) { benchKernel(b, Kuhn) }
+
+func BenchmarkKarpSipser(b *testing.B) { benchKernel(b, KarpSipser) }
 
 func BenchmarkHopcroftKarpCap16(b *testing.B) {
 	g := benchGraph(20000, 1250, 5, 1)

@@ -68,7 +68,10 @@ type Result struct {
 }
 
 func run(ctx context.Context, sol *registry.Solver, h *hypergraph.Hypergraph, doRefine bool) (core.HyperAssignment, error) {
-	a, err := sol.SolveHyper(ctx, h, registry.Options{})
+	// Members already race on their own goroutines, so a parallel member
+	// gets one internal worker: the portfolio's concurrency budget is
+	// spent across members, not inside one.
+	a, err := sol.SolveHyper(ctx, h, registry.Options{Workers: 1})
 	if err != nil {
 		// An exact member that runs out of budget still hands back its
 		// incumbent — a valid schedule, just not provably optimal — and a
@@ -85,11 +88,20 @@ func run(ctx context.Context, sol *registry.Solver, h *hypergraph.Hypergraph, do
 
 // resolve maps member names to registry solvers (canonical names out),
 // erroring on the first unknown name. An empty list means the full
-// default portfolio.
+// default portfolio. Members with a registered parallel counterpart
+// execute through it (registry.Preferred): a portfolio judges schedules,
+// and the parallel variant finds the same optimal makespan with better
+// wall-clock behaviour, so drafting "BnB-MP" runs the BnB-MP-Par engine
+// under the hood. Reported names (Winner, Makespans keys) stay the
+// drafted members' canonical names, so name-keyed callers are
+// unaffected by the upgrade.
 func resolve(algs []string) ([]string, []*registry.Solver, error) {
 	names, solvers, err := registry.ResolveClass(registry.MultiProc, algs, DefaultAlgorithms)
 	if err != nil {
 		return nil, nil, fmt.Errorf("portfolio: %w", err)
+	}
+	for i, s := range solvers {
+		solvers[i] = registry.Preferred(s)
 	}
 	return names, solvers, nil
 }

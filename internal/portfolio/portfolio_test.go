@@ -229,6 +229,9 @@ func TestExactMemberKeepsIncumbent(t *testing.T) {
 	if len(res.MemberErrs) != 0 {
 		t.Fatalf("budget truncation is not a member failure: %v", res.MemberErrs)
 	}
+	// Drafting "exact" executes the parallel engine under the hood
+	// (registry.Preferred), but the league table stays keyed by the
+	// drafted member's canonical name.
 	if _, ok := res.Makespans["BnB-MP"]; !ok {
 		t.Fatalf("exact member missing from the league table: %v", res.Makespans)
 	}

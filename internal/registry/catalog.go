@@ -75,10 +75,19 @@ func init() {
 	})
 	register(&Solver{
 		Name: "BnB-SP", Class: SingleProc, Kind: Exact, Cost: CostExponential,
-		Aliases: []string{"bnb"},
+		Aliases: []string{"bnb"}, ParallelAlt: "BnB-SP-Par",
 		Summary: "branch-and-bound for weighted SINGLEPROC (budgeted; returns incumbent on timeout)",
 		SolveSingle: func(ctx context.Context, g *bipartite.Graph, opts Options) (core.Assignment, error) {
 			a, _, err := exact.SolveSingleProcCtx(ctx, g, opts.BnB)
+			return a, err
+		},
+	})
+	register(&Solver{
+		Name: "BnB-SP-Par", Class: SingleProc, Kind: Exact, Cost: CostExponential, Parallel: true,
+		Aliases: []string{"bnb-par"},
+		Summary: "work-stealing parallel branch-and-bound for weighted SINGLEPROC (Workers≈GOMAXPROCS; shared incumbent, symmetry breaking)",
+		SolveSingle: func(ctx context.Context, g *bipartite.Graph, opts Options) (core.Assignment, error) {
+			a, _, err := exact.SolveSingleProcParCtx(ctx, g, opts.bnb())
 			return a, err
 		},
 	})
@@ -143,10 +152,19 @@ func init() {
 	})
 	register(&Solver{
 		Name: "BnB-MP", Class: MultiProc, Kind: Exact, Cost: CostExponential,
-		Aliases: []string{"bnb", "exact"},
+		Aliases: []string{"bnb", "exact"}, ParallelAlt: "BnB-MP-Par",
 		Summary: "branch-and-bound for MULTIPROC (budgeted; returns incumbent on timeout)",
 		SolveHyper: func(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (core.HyperAssignment, error) {
 			a, _, err := exact.SolveMultiProcCtx(ctx, h, opts.BnB)
+			return a, err
+		},
+	})
+	register(&Solver{
+		Name: "BnB-MP-Par", Class: MultiProc, Kind: Exact, Cost: CostExponential, Parallel: true,
+		Aliases: []string{"bnb-par", "exact-par"},
+		Summary: "work-stealing parallel branch-and-bound for MULTIPROC (Workers≈GOMAXPROCS; shared incumbent, symmetry breaking)",
+		SolveHyper: func(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (core.HyperAssignment, error) {
+			a, _, err := exact.SolveMultiProcParCtx(ctx, h, opts.bnb())
 			return a, err
 		},
 	})

@@ -10,27 +10,29 @@ import (
 // -list-algorithms -json` and the semiserve `GET /algorithms` endpoint,
 // so tooling has exactly one way to discover the catalog.
 type SolverRecord struct {
-	Name    string   `json:"name"`
-	Aliases []string `json:"aliases,omitempty"`
-	Class   string   `json:"class"` // SINGLEPROC | MULTIPROC
-	Kind    string   `json:"kind"`  // heuristic | exact | online
-	Cost    string   `json:"cost"`  // near-linear | polynomial | exponential
-	Aux     bool     `json:"aux,omitempty"`
-	Optimal bool     `json:"optimal"` // a nil-error result is provably optimal
-	Summary string   `json:"summary"`
+	Name     string   `json:"name"`
+	Aliases  []string `json:"aliases,omitempty"`
+	Class    string   `json:"class"` // SINGLEPROC | MULTIPROC
+	Kind     string   `json:"kind"`  // heuristic | exact | online
+	Cost     string   `json:"cost"`  // near-linear | polynomial | exponential
+	Aux      bool     `json:"aux,omitempty"`
+	Optimal  bool     `json:"optimal"`            // a nil-error result is provably optimal
+	Parallel bool     `json:"parallel,omitempty"` // scales with SolverOptions.Workers
+	Summary  string   `json:"summary"`
 }
 
 // Record converts one solver to its machine-readable form.
 func (s *Solver) Record() SolverRecord {
 	return SolverRecord{
-		Name:    s.Name,
-		Aliases: append([]string(nil), s.Aliases...),
-		Class:   s.Class.String(),
-		Kind:    s.Kind.String(),
-		Cost:    s.Cost.String(),
-		Aux:     s.Aux,
-		Optimal: s.Optimal(),
-		Summary: s.Summary,
+		Name:     s.Name,
+		Aliases:  append([]string(nil), s.Aliases...),
+		Class:    s.Class.String(),
+		Kind:     s.Kind.String(),
+		Cost:     s.Cost.String(),
+		Aux:      s.Aux,
+		Optimal:  s.Optimal(),
+		Parallel: s.Parallel,
+		Summary:  s.Summary,
 	}
 }
 

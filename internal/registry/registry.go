@@ -116,6 +116,20 @@ type Options struct {
 	Exact core.ExactOptions
 	// BnB bounds the branch-and-bound searches.
 	BnB exact.Options
+	// Workers bounds the worker pool of parallel solvers (BnB-SP-Par,
+	// BnB-MP-Par); 0 means GOMAXPROCS. Non-zero overrides BnB.Workers.
+	// Solvers without internal parallelism ignore it.
+	Workers int
+}
+
+// bnb resolves the branch-and-bound options with the Workers override
+// applied.
+func (o Options) bnb() exact.Options {
+	b := o.BnB
+	if o.Workers != 0 {
+		b.Workers = o.Workers
+	}
+	return b
 }
 
 // Solver is one self-describing catalog entry. Exactly one of SolveSingle
@@ -137,6 +151,13 @@ type Solver struct {
 	// excluded from default portfolios and benchmark tables but still
 	// addressable by name.
 	Aux bool
+	// Parallel marks solvers that scale with Options.Workers (an internal
+	// worker pool).
+	Parallel bool
+	// ParallelAlt names this solver's parallel counterpart in the same
+	// class, when one is registered; policy layers use it via Preferred
+	// to upgrade dispatch onto all available cores.
+	ParallelAlt string
 	// Summary is a one-line description for listings.
 	Summary string
 
@@ -256,6 +277,22 @@ func ResolveClass(c Class, names, defaults []string) ([]string, []*Solver, error
 		solvers[i] = s
 	}
 	return Names(solvers), solvers, nil
+}
+
+// Preferred returns the solver a throughput-oriented policy layer should
+// dispatch to in s's stead: the registered parallel counterpart named by
+// s.ParallelAlt when there is one, otherwise s itself. The counterpart
+// solves the same problem exactly (the equivalence suite in
+// internal/exact asserts matching optima), so the upgrade is safe for
+// any caller that judges schedules rather than solver identity.
+func Preferred(s *Solver) *Solver {
+	if s == nil || s.ParallelAlt == "" {
+		return s
+	}
+	if alt, err := LookupClass(s.Class, s.ParallelAlt); err == nil {
+		return alt
+	}
+	return s
 }
 
 // IncumbentError reports whether err is a budget or cancellation error

@@ -27,6 +27,7 @@ var wantCatalog = []struct {
 	{"ExactUnit", SingleProc, Exact},
 	{"Harvey", SingleProc, Exact},
 	{"BnB-SP", SingleProc, Exact},
+	{"BnB-SP-Par", SingleProc, Exact},
 	{"OnlineGreedy", SingleProc, Online},
 	{"SGH", MultiProc, Heuristic},
 	{"VGH", MultiProc, Heuristic},
@@ -35,6 +36,7 @@ var wantCatalog = []struct {
 	{"EGH-X", MultiProc, Heuristic},
 	{"EVG-X", MultiProc, Heuristic},
 	{"BnB-MP", MultiProc, Exact},
+	{"BnB-MP-Par", MultiProc, Exact},
 }
 
 func TestCatalogCompleteAndRegisteredOnce(t *testing.T) {
@@ -133,8 +135,8 @@ func TestUnknownNameSuggests(t *testing.T) {
 
 func TestFindOrdersByCost(t *testing.T) {
 	exacts := Find(SingleProc, Exact)
-	if len(exacts) != 3 {
-		t.Fatalf("want 3 SINGLEPROC exact solvers, got %v", Names(exacts))
+	if len(exacts) != 4 {
+		t.Fatalf("want 4 SINGLEPROC exact solvers, got %v", Names(exacts))
 	}
 	for i := 1; i < len(exacts); i++ {
 		if exacts[i-1].Cost > exacts[i].Cost {
@@ -142,8 +144,28 @@ func TestFindOrdersByCost(t *testing.T) {
 		}
 	}
 	mp := Find(MultiProc, Exact)
-	if len(mp) != 1 || mp[0].Name != "BnB-MP" {
-		t.Fatalf("MULTIPROC exact = %v, want [BnB-MP]", Names(mp))
+	if got, want := Names(mp), []string{"BnB-MP", "BnB-MP-Par"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("MULTIPROC exact = %v, want %v", got, want)
+	}
+}
+
+func TestPreferredUpgradesToParallel(t *testing.T) {
+	seq, err := LookupClass(MultiProc, "BnB-MP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Preferred(seq); got.Name != "BnB-MP-Par" || !got.Parallel {
+		t.Fatalf("Preferred(BnB-MP) = %v, want BnB-MP-Par", got.Name)
+	}
+	sgh, err := LookupClass(MultiProc, "SGH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Preferred(sgh); got != sgh {
+		t.Fatalf("Preferred(SGH) should be identity, got %v", got.Name)
+	}
+	if got := Preferred(nil); got != nil {
+		t.Fatal("Preferred(nil) should be nil")
 	}
 }
 

@@ -178,6 +178,11 @@ type Service struct {
 	runner  *batch.Runner
 	queue   chan struct{} // admission slots: solves in flight
 	workers chan struct{} // run slots: solves executing
+	// solverWorkers is the per-solve internal worker budget for parallel
+	// solvers: GOMAXPROCS split across the service's concurrent solves,
+	// at least 1, so a loaded server stays near one busy goroutine per
+	// core instead of one pool per request.
+	solverWorkers int
 
 	flightMu sync.Mutex
 	flights  map[string]*flight
@@ -203,16 +208,22 @@ type flight struct {
 
 // New returns a Service with the given options.
 func New(opts Options) *Service {
+	solverWorkers := runtime.GOMAXPROCS(0) / opts.workers()
+	if solverWorkers < 1 {
+		solverWorkers = 1
+	}
 	bopts := opts.Batch
-	bopts.Workers = 1 // the service's worker pool owns the cores
+	bopts.Workers = 1                  // the service's worker pool owns the cores
+	bopts.ExactWorkers = solverWorkers // ... so each solve gets its share
 	bopts.InstanceTimeout = 0
 	s := &Service{
-		opts:    opts,
-		cache:   newLRUCache(opts.cacheEntries(), opts.cacheShards()),
-		runner:  batch.New(bopts),
-		queue:   make(chan struct{}, opts.queueDepth()),
-		workers: make(chan struct{}, opts.workers()),
-		flights: make(map[string]*flight),
+		opts:          opts,
+		cache:         newLRUCache(opts.cacheEntries(), opts.cacheShards()),
+		runner:        batch.New(bopts),
+		queue:         make(chan struct{}, opts.queueDepth()),
+		workers:       make(chan struct{}, opts.workers()),
+		solverWorkers: solverWorkers,
+		flights:       make(map[string]*flight),
 	}
 	s.solveFn = s.dispatch
 	return s
@@ -472,7 +483,7 @@ func (s *Service) dispatch(ctx context.Context, req *request) (*Result, error) {
 	res := &Result{Kind: req.kind, Fingerprint: req.fp, Algorithm: req.alg}
 	switch {
 	case req.sol != nil && req.class == registry.SingleProc:
-		a, err := req.sol.SolveSingle(ctx, req.g, registry.Options{})
+		a, err := req.sol.SolveSingle(ctx, req.g, registry.Options{Workers: s.solverWorkers})
 		if err != nil {
 			if a == nil || !registry.IncumbentError(err) {
 				return nil, fmt.Errorf("service: %s: %w", req.alg, err)
@@ -484,7 +495,7 @@ func (s *Service) dispatch(ctx context.Context, req *request) (*Result, error) {
 		res.Assignment = []int32(a)
 		res.Loads = core.Loads(req.g, a)
 	case req.sol != nil:
-		a, err := req.sol.SolveHyper(ctx, req.h, registry.Options{})
+		a, err := req.sol.SolveHyper(ctx, req.h, registry.Options{Workers: s.solverWorkers})
 		if err != nil {
 			if a == nil || !registry.IncumbentError(err) {
 				return nil, fmt.Errorf("service: %s: %w", req.alg, err)

@@ -239,8 +239,27 @@ var (
 	SolveMultiProcCtx  = exact.SolveMultiProcCtx
 )
 
+// Parallel work-stealing branch-and-bound: the search tree is split at a
+// shallow frontier across BnBOptions.Workers workers (default GOMAXPROCS)
+// that share one incumbent bound and one node budget, with stronger
+// prunes (cheapest-cost child ordering, a max-element lower bound,
+// symmetry breaking over interchangeable processors). Same error and
+// incumbent contract as the sequential solvers; the optimal makespan is
+// deterministic, the returned schedule may differ across runs when
+// several optima exist. Registered as BnB-SP-Par / BnB-MP-Par.
+var (
+	SolveSingleProcPar    = exact.SolveSingleProcPar
+	SolveMultiProcPar     = exact.SolveMultiProcPar
+	SolveSingleProcParCtx = exact.SolveSingleProcParCtx
+	SolveMultiProcParCtx  = exact.SolveMultiProcParCtx
+)
+
 // BnBOptions bounds the branch-and-bound search.
 type BnBOptions = exact.Options
+
+// BnBStats reports how much work a branch-and-bound search did (set
+// BnBOptions.Stats to collect it).
+type BnBStats = exact.SearchStats
 
 // ErrLimit reports an exhausted branch-and-bound node budget.
 var ErrLimit = exact.ErrLimit
@@ -268,9 +287,10 @@ func NewBatchRunner(opts BatchOptions) *BatchRunner { return batch.New(opts) }
 // GOMAXPROCS cores. Each instance runs the portfolio first, then — when
 // small enough — an exact branch-and-bound attempt, falling back to the
 // best schedule found so far on timeout. Failures are isolated per
-// instance (Result.Err); results are deterministic in the worker count.
-// Cancelling ctx stops the batch promptly, returning partial results
-// alongside the context's error.
+// instance (Result.Err); makespans are deterministic in the worker count
+// (schedule identity may vary when the parallel exact stage finds
+// co-optimal schedules). Cancelling ctx stops the batch promptly,
+// returning partial results alongside the context's error.
 func SolveBatch(ctx context.Context, instances []*Hypergraph, opts BatchOptions) ([]BatchResult, error) {
 	return batch.New(opts).Run(ctx, instances)
 }
