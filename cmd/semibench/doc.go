@@ -122,5 +122,10 @@
 //
 // When both solvers prove optimality their makespans must agree; the run
 // fails otherwise, so every recorded BENCH.json doubles as an equivalence
-// witness. EXPERIMENTS.md records the repo's committed runs.
+// witness. Each -bench run writes two copies: -bench-out (default
+// BENCH.json) always holds the latest report, and a numbered
+// BENCH_<n>.json snapshot is added alongside it (n = one past the
+// highest existing index), so the perf trajectory accumulates across
+// runs and PRs instead of being overwritten. EXPERIMENTS.md records the
+// repo's committed runs.
 package main

@@ -6,9 +6,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
+	"time"
 
 	"semimatch/internal/bench"
 	"semimatch/internal/gen"
@@ -102,38 +105,78 @@ func main() {
 			fmt.Fprintf(os.Stderr, "semibench: -bench: %v\n", err)
 			os.Exit(1)
 		}
-		f, err := os.Create(*benchOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "semibench: -bench: %v\n", err)
-			os.Exit(1)
-		}
-		werr := bench.WritePerfJSON(f, rep)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			fmt.Fprintf(os.Stderr, "semibench: -bench: writing %s: %v\n", *benchOut, werr)
-			os.Exit(1)
+		// Two copies per run: <out> is always the latest report, and a
+		// numbered <out-base>_<n>.json snapshot accumulates the perf
+		// trajectory across runs (and PRs) instead of overwriting it.
+		snapshot, n := nextSnapshotPath(*benchOut)
+		for _, path := range []string{*benchOut, snapshot} {
+			if err := writeBenchReport(path, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "semibench: -bench: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
 		}
 		fmt.Print(bench.FormatPerfSummary(rep))
-		fmt.Printf("wrote %s (%d cases)\n", *benchOut, len(rep.Cases))
+		fmt.Printf("wrote %s (latest, %d cases) and %s (snapshot %d)\n",
+			*benchOut, len(rep.Cases), snapshot, n)
 		return
 	}
 
+	runTables(ctx, opts, *table, *quick, *d, *jsonOut, *timeout)
+}
+
+// writeBenchReport writes one machine-readable perf report to path.
+func writeBenchReport(path string, rep *bench.PerfReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := bench.WritePerfJSON(f, rep)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// nextSnapshotPath returns "<base>_<n>.json" next to out (out minus a
+// ".json" suffix), where n is one past the highest existing snapshot
+// index — BENCH.json stays the latest while BENCH_1.json, BENCH_2.json,
+// ... record the trajectory. The directory is listed rather than
+// globbed, so paths containing glob metacharacters cannot restart the
+// numbering and overwrite an earlier snapshot.
+func nextSnapshotPath(out string) (string, int) {
+	base := strings.TrimSuffix(out, ".json")
+	stem := filepath.Base(base)
+	next := 1
+	if entries, err := os.ReadDir(filepath.Dir(out)); err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasPrefix(name, stem+"_") || !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			idx := strings.TrimSuffix(strings.TrimPrefix(name, stem+"_"), ".json")
+			if n, err := strconv.Atoi(idx); err == nil && n >= next {
+				next = n + 1
+			}
+		}
+	}
+	return fmt.Sprintf("%s_%d.json", base, next), next
+}
+
+func runTables(ctx context.Context, opts bench.Options, table string, quick bool, d int, jsonOut bool, timeout time.Duration) {
 	run := func(name string, f func() error) {
 		err := f()
 		if err == nil {
 			return
 		}
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			fmt.Fprintf(os.Stderr, "semibench: %s: timed out after %v\n", name, *timeout)
+			fmt.Fprintf(os.Stderr, "semibench: %s: timed out after %v\n", name, timeout)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "semibench: %s: %v\n", name, err)
 		os.Exit(1)
 	}
 
-	want := func(t string) bool { return *table == t || *table == "all" }
+	want := func(t string) bool { return table == t || table == "all" }
 
 	// hyperTable runs one MULTIPROC table and renders it as text or JSON.
 	// Results are memoized per weight scheme: with -table all, Tables I
@@ -151,7 +194,7 @@ func main() {
 				}
 				hyperCache[weights] = res
 			}
-			if *jsonOut {
+			if jsonOut {
 				return bench.WriteJSON(os.Stdout, res.JSON(label))
 			}
 			fmt.Println(heading)
@@ -180,11 +223,11 @@ func main() {
 	if want("fig3") {
 		run("fig3", func() error {
 			maxK := 12
-			if *quick {
+			if quick {
 				maxK = 8
 			}
 			rows := bench.RunAdversarial(maxK)
-			if *jsonOut {
+			if jsonOut {
 				return bench.WriteJSON(os.Stdout, bench.AdversarialJSON(rows))
 			}
 			fmt.Println("== Fig. 3: Chain(k) worst-case scaling ==")
@@ -198,14 +241,14 @@ func main() {
 			for _, g := range []int{32, 128} {
 				generator, g := generator, g
 				run("sp", func() error {
-					res, err := bench.RunSingleProc(ctx, generator, *d, g, opts)
+					res, err := bench.RunSingleProc(ctx, generator, d, g, opts)
 					if err != nil {
 						return err
 					}
-					if *jsonOut {
+					if jsonOut {
 						return bench.WriteJSON(os.Stdout, res.JSON())
 					}
-					fmt.Printf("== SINGLEPROC-UNIT: %s, d=%d, g=%d ==\n", generator, *d, g)
+					fmt.Printf("== SINGLEPROC-UNIT: %s, d=%d, g=%d ==\n", generator, d, g)
 					fmt.Print(bench.FormatSPTable(res))
 					fmt.Println()
 					return nil
@@ -213,10 +256,10 @@ func main() {
 			}
 		}
 	}
-	switch *table {
+	switch table {
 	case "1", "2", "3", "8", "sp", "fig3", "all":
 	default:
-		fmt.Fprintf(os.Stderr, "semibench: unknown -table %q (want 1, 2, 3, 8, sp, fig3 or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "semibench: unknown -table %q (want 1, 2, 3, 8, sp, fig3 or all)\n", table)
 		os.Exit(2)
 	}
 }

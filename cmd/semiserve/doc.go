@@ -45,6 +45,7 @@
 //	  "fingerprint": "4f1c…",          // canonical content hash (SHA-256)
 //	  "algorithm": "auto:EVG",         // solver, or auto:<winning source>
 //	  "makespan": 42,
+//	  "status": "heuristic",           // optimal | heuristic | truncated
 //	  "optimal": false,                // provably optimal
 //	  "truncated": false,              // deadline/budget-truncated incumbent
 //	  "cached": true,                  // served from the result cache

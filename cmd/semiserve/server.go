@@ -16,6 +16,7 @@ import (
 	"semimatch/internal/registry"
 	"semimatch/internal/sched"
 	"semimatch/internal/service"
+	"semimatch/internal/solve"
 )
 
 // defaultMaxBody bounds one /solve request body (overridable with
@@ -64,14 +65,17 @@ func newServer(svc *service.Service, maxDeadline time.Duration, maxInflight int,
 // solveResponse is the JSON body of a successful POST /solve; the schema
 // is documented in doc.go.
 type solveResponse struct {
-	Kind        string  `json:"kind"`
-	Fingerprint string  `json:"fingerprint"`
-	Algorithm   string  `json:"algorithm"`
-	Makespan    int64   `json:"makespan"`
-	Optimal     bool    `json:"optimal"`
-	Truncated   bool    `json:"truncated"`
-	Cached      bool    `json:"cached"`
-	ElapsedS    float64 `json:"elapsed_s"`
+	Kind        string `json:"kind"`
+	Fingerprint string `json:"fingerprint"`
+	Algorithm   string `json:"algorithm"`
+	Makespan    int64  `json:"makespan"`
+	// Status is the unified solve API's optimality class:
+	// "optimal", "heuristic" or "truncated".
+	Status    string  `json:"status"`
+	Optimal   bool    `json:"optimal"`
+	Truncated bool    `json:"truncated"`
+	Cached    bool    `json:"cached"`
+	ElapsedS  float64 `json:"elapsed_s"`
 	// Assignment maps task → processor (bipartite) or task → hyperedge id
 	// in the posted instance's task-grouped numbering (hypergraph).
 	Assignment []int32 `json:"assignment"`
@@ -147,11 +151,19 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	status := solve.StatusHeuristic
+	switch {
+	case res.Truncated:
+		status = solve.StatusTruncated
+	case res.Optimal:
+		status = solve.StatusOptimal
+	}
 	resp := solveResponse{
 		Kind:        res.Kind,
 		Fingerprint: res.Fingerprint,
 		Algorithm:   res.Algorithm,
 		Makespan:    res.Makespan,
+		Status:      status.String(),
 		Optimal:     res.Optimal,
 		Truncated:   res.Truncated,
 		Cached:      res.Cached,

@@ -1,14 +1,17 @@
 // Command semisolve reads an instance file (bipartite or hypergraph,
-// auto-detected) and schedules it. Algorithms resolve through the solver
-// registry: any name or alias printed by -list-algorithms works, and the
-// class is picked from the detected instance kind.
+// auto-detected) and schedules it through the unified solve API: the
+// decoded instance becomes a solve.Problem, and one Run answers both
+// encodings. By default the auto policy runs (heuristic race, then an
+// exact attempt when the instance is small enough); -alg names any
+// registry solver instead, resolved in the detected instance's class.
 //
 // Usage:
 //
 //	semisolve -list-algorithms
 //	semisolve -list-algorithms -json   # NDJSON SolverRecord per line
+//	semisolve instance.txt             # auto policy
 //	semisolve -alg evg instance.txt
-//	semisolve -alg exact -show-loads sp.txt
+//	semisolve -alg bnb-par -progress hard.txt   # watch incumbents tighten
 package main
 
 import (
@@ -17,22 +20,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
-	"semimatch/internal/bipartite"
 	"semimatch/internal/core"
 	"semimatch/internal/encode"
-	"semimatch/internal/hypergraph"
-	"semimatch/internal/refine"
 	"semimatch/internal/registry"
+	"semimatch/internal/solve"
 )
 
 func main() {
-	alg := flag.String("alg", "evg", "algorithm name or alias (see -list-algorithms)")
+	alg := flag.String("alg", "", "algorithm name or alias (see -list-algorithms); empty runs the auto policy")
 	list := flag.Bool("list-algorithms", false, "print the solver catalog and exit")
 	jsonOut := flag.Bool("json", false, "with -list-algorithms, emit the catalog as NDJSON (one record per solver)")
 	showLoads := flag.Bool("show-loads", false, "print the per-processor loads")
 	doRefine := flag.Bool("refine", false, "post-process hypergraph schedules with local search")
+	progress := flag.Bool("progress", false, "print incumbent improvements to stderr while the solve runs")
 	flag.Parse()
 	if *list {
 		if *jsonOut {
@@ -45,30 +46,52 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: semisolve [-alg name] [-show-loads] [-list-algorithms] <instance-file>")
+		fmt.Fprintln(os.Stderr, "usage: semisolve [-alg name] [-progress] [-show-loads] [-list-algorithms] <instance-file>")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fail(err)
 	}
-	kind, err := encode.DetectKind(data)
+	problem, err := readProblem(data)
 	if err != nil {
 		fail(err)
 	}
-	switch kind {
-	case "bipartite":
-		g, err := encode.ReadBipartite(bytes.NewReader(data))
-		if err != nil {
-			fail(err)
+
+	var opts []solve.Option
+	if *alg != "" {
+		opts = append(opts, solve.WithAlgorithm(*alg))
+	}
+	if *doRefine {
+		opts = append(opts, solve.WithRefine())
+	}
+	if *progress {
+		opts = append(opts, solve.WithObserver(func(inc solve.Incumbent) {
+			mark := ""
+			if inc.Final {
+				mark = " (final)"
+			}
+			fmt.Fprintf(os.Stderr, "progress: makespan %d by %s after %.3fs%s\n",
+				inc.Makespan, inc.Solver, inc.Elapsed.Seconds(), mark)
+		}))
+	}
+
+	rep, err := solve.Run(context.Background(), problem, opts...)
+	if err != nil {
+		fail(err)
+	}
+	if err := validate(problem, rep.Assignment); err != nil {
+		fail(err)
+	}
+
+	fmt.Println("instance:", describe(problem))
+	fmt.Printf("algorithm: %s (%.3fs)\n", rep.Solver, rep.Elapsed.Seconds())
+	fmt.Printf("makespan: %d (%s), lower bound: %d, ratio: %.3f\n",
+		rep.Makespan, rep.Status, rep.LowerBound, ratio(rep.Makespan, rep.LowerBound))
+	if *showLoads {
+		for p, l := range rep.Loads {
+			fmt.Printf("P%-5d %d\n", p, l)
 		}
-		solveBipartite(g, *alg, *showLoads)
-	case "hypergraph":
-		h, err := encode.ReadHypergraph(bytes.NewReader(data))
-		if err != nil {
-			fail(err)
-		}
-		solveHyper(h, *alg, *showLoads, *doRefine)
 	}
 }
 
@@ -77,69 +100,45 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func solveBipartite(g *bipartite.Graph, alg string, showLoads bool) {
-	sol, err := registry.LookupClass(registry.SingleProc, alg)
+// readProblem decodes either text encoding into a solve.Problem.
+func readProblem(data []byte) (solve.Problem, error) {
+	kind, err := encode.DetectKind(data)
 	if err != nil {
-		fail(err)
+		return solve.Problem{}, err
 	}
-	start := time.Now()
-	a, err := sol.SolveSingle(context.Background(), g, registry.Options{})
+	if kind == "bipartite" {
+		g, err := encode.ReadBipartite(bytes.NewReader(data))
+		if err != nil {
+			return solve.Problem{}, err
+		}
+		return solve.Bipartite(g), nil
+	}
+	h, err := encode.ReadHypergraph(bytes.NewReader(data))
 	if err != nil {
-		fail(err)
+		return solve.Problem{}, err
 	}
-	elapsed := time.Since(start)
-	if err := core.ValidateAssignment(g, a); err != nil {
-		fail(err)
-	}
-	fmt.Printf("instance: bipartite, %d tasks, %d processors, %d edges\n", g.NLeft, g.NRight, g.NumEdges())
-	fmt.Printf("algorithm: %s (%.3fs)\n", sol.Name, elapsed.Seconds())
-	fmt.Printf("makespan: %d%s\n", core.Makespan(g, a), optMark(sol.Optimal()))
-	if showLoads {
-		printLoads(core.Loads(g, a))
-	}
+	return solve.Hyper(h), nil
 }
 
-func solveHyper(h *hypergraph.Hypergraph, alg string, showLoads, doRefine bool) {
-	sol, err := registry.LookupClass(registry.MultiProc, alg)
-	if err != nil {
-		fail(err)
+func describe(p solve.Problem) string {
+	if h := p.Hypergraph(); h != nil {
+		return fmt.Sprintf("hypergraph, %d tasks, %d processors, %d hyperedges, %d pins",
+			h.NTasks, h.NProcs, h.NumEdges(), h.NumPins())
 	}
-	start := time.Now()
-	a, err := sol.SolveHyper(context.Background(), h, registry.Options{})
-	if err != nil {
-		fail(err)
-	}
-	if doRefine {
-		res := refine.Refine(h, a, refine.Options{})
-		a = res.Assignment
-		fmt.Printf("refinement: %d moves in %d rounds (%d → %d)\n",
-			res.Moves, res.Rounds, res.Before, res.After)
-	}
-	elapsed := time.Since(start)
-	if err := core.ValidateHyperAssignment(h, a); err != nil {
-		fail(err)
-	}
-	lb := core.LowerBound(h)
-	m := core.HyperMakespan(h, a)
-	fmt.Printf("instance: hypergraph, %d tasks, %d processors, %d hyperedges, %d pins\n",
-		h.NTasks, h.NProcs, h.NumEdges(), h.NumPins())
-	fmt.Printf("algorithm: %s (%.3fs)\n", sol.Name, elapsed.Seconds())
-	fmt.Printf("makespan: %d%s, lower bound: %d, ratio: %.3f\n",
-		m, optMark(sol.Optimal()), lb, float64(m)/float64(lb))
-	if showLoads {
-		printLoads(core.HyperLoads(h, a))
-	}
+	g := p.Graph()
+	return fmt.Sprintf("bipartite, %d tasks, %d processors, %d edges", g.NLeft, g.NRight, g.NumEdges())
 }
 
-func optMark(optimal bool) string {
-	if optimal {
-		return " (optimal)"
+func validate(p solve.Problem, a []int32) error {
+	if h := p.Hypergraph(); h != nil {
+		return core.ValidateHyperAssignment(h, core.HyperAssignment(a))
 	}
-	return ""
+	return core.ValidateAssignment(p.Graph(), core.Assignment(a))
 }
 
-func printLoads(loads []int64) {
-	for p, l := range loads {
-		fmt.Printf("P%-5d %d\n", p, l)
+func ratio(m, lb int64) float64 {
+	if lb <= 0 {
+		return 1
 	}
+	return float64(m) / float64(lb)
 }

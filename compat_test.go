@@ -1,0 +1,367 @@
+package semimatch_test
+
+// The API-compatibility golden suite of the Problem → Run → Report
+// redesign: every pre-redesign public entry point must keep compiling,
+// keep working, and produce the same makespans as the unified Run on
+// seeded instances. If an intentional API change breaks this suite,
+// update it together with docs/api-surface.txt (the CI surface guard).
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"semimatch"
+)
+
+func seededGraph(t *testing.T, seed int64) *semimatch.Graph {
+	t.Helper()
+	g, err := semimatch.GenerateBipartite(semimatch.FewgManyg, 40, 8, 4, 3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func seededWeightedGraph(seed int64, nTasks, nProcs int) *semimatch.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := semimatch.NewGraphBuilder(nTasks, nProcs)
+	for task := 0; task < nTasks; task++ {
+		d := 1 + rng.Intn(3)
+		perm := rng.Perm(nProcs)
+		for j := 0; j < d && j < nProcs; j++ {
+			b.AddWeightedEdge(task, perm[j], 1+rng.Int63n(9))
+		}
+	}
+	return b.MustBuild()
+}
+
+func seededHyper(t *testing.T, seed int64, n int) *semimatch.Hypergraph {
+	t.Helper()
+	h, err := semimatch.GenerateHypergraph(semimatch.HyperParams{
+		Gen: semimatch.FewgManyg, N: n, P: 6, Dv: 3, Dh: 2, G: 3,
+		Weights: semimatch.Random, MaxW: 9,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// runMakespan solves p through the new entry point with one named
+// algorithm and returns the reported makespan.
+func runMakespan(t *testing.T, p semimatch.Problem, alg string, extra ...semimatch.Option) int64 {
+	t.Helper()
+	rep, err := semimatch.Run(context.Background(), p, append([]semimatch.Option{semimatch.WithAlgorithm(alg)}, extra...)...)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", alg, err)
+	}
+	return rep.Makespan
+}
+
+// TestCompatSingleProcHeuristics: the flat heuristic entry points and
+// their Run(WithAlgorithm) counterparts agree on every seed.
+func TestCompatSingleProcHeuristics(t *testing.T) {
+	type entry struct {
+		name string
+		fn   func(*semimatch.Graph, semimatch.GreedyOptions) semimatch.Assignment
+	}
+	entries := []entry{
+		{"basic", semimatch.BasicGreedy},
+		{"sorted", semimatch.SortedGreedy},
+		{"double", semimatch.DoubleSorted},
+		{"expected", semimatch.ExpectedGreedy},
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		g := seededGraph(t, seed)
+		p := semimatch.GraphProblem(g)
+		for _, e := range entries {
+			old := semimatch.Makespan(g, e.fn(g, semimatch.GreedyOptions{}))
+			if got := runMakespan(t, p, e.name); got != old {
+				t.Fatalf("seed %d %s: flat %d, Run %d", seed, e.name, old, got)
+			}
+		}
+		if old := semimatch.Makespan(g, semimatch.LPTGreedy(g)); old != runMakespan(t, p, "LPT") {
+			t.Fatalf("seed %d LPT mismatch", seed)
+		}
+		if a, _, err := semimatch.OnlineReplay(g, nil); err != nil {
+			t.Fatal(err)
+		} else if old := semimatch.Makespan(g, a); old != runMakespan(t, p, "OnlineGreedy") {
+			t.Fatalf("seed %d OnlineGreedy mismatch", seed)
+		}
+	}
+}
+
+// TestCompatSingleProcExact: ExactUnit, Harvey and the branch-and-bound
+// pair agree with each other and with Run on unit instances.
+func TestCompatSingleProcExact(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := seededGraph(t, seed)
+		p := semimatch.GraphProblem(g)
+		_, opt, err := semimatch.ExactUnit(g, semimatch.ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runMakespan(t, p, "ExactUnit"); got != opt {
+			t.Fatalf("seed %d ExactUnit: flat %d, Run %d", seed, opt, got)
+		}
+		if got := runMakespan(t, p, "Harvey"); got != opt {
+			t.Fatalf("seed %d Harvey: %d, want %d", seed, got, opt)
+		}
+
+		// Weighted branch and bound, sequential and parallel, old and new.
+		w := seededWeightedGraph(seed, 12, 4)
+		pw := semimatch.GraphProblem(w)
+		_, m1, err := semimatch.SolveSingleProc(w, semimatch.BnBOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, m2, err := semimatch.SolveSingleProcPar(w, semimatch.BnBOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1 != m2 {
+			t.Fatalf("seed %d: sequential %d vs parallel %d", seed, m1, m2)
+		}
+		if got := runMakespan(t, pw, "BnB-SP"); got != m1 {
+			t.Fatalf("seed %d BnB-SP: flat %d, Run %d", seed, m1, got)
+		}
+		if got := runMakespan(t, pw, "bnb-par", semimatch.WithWorkers(2)); got != m1 {
+			t.Fatalf("seed %d BnB-SP-Par via Run: want %d", seed, m1)
+		}
+	}
+}
+
+// TestCompatMultiProc: the flat hypergraph heuristics, the exact pair
+// and the exact-arithmetic ablations agree with Run.
+func TestCompatMultiProc(t *testing.T) {
+	type entry struct {
+		name string
+		fn   func(*semimatch.Hypergraph, semimatch.HyperOptions) semimatch.HyperAssignment
+	}
+	entries := []entry{
+		{"SGH", semimatch.SortedGreedyHyp},
+		{"VGH", semimatch.VectorGreedyHyp},
+		{"EGH", semimatch.ExpectedGreedyHyp},
+		{"EVG", semimatch.ExpectedVectorGreedyHyp},
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		h := seededHyper(t, seed, 40)
+		p := semimatch.HypergraphProblem(h)
+		for _, e := range entries {
+			old := semimatch.HyperMakespan(h, e.fn(h, semimatch.HyperOptions{}))
+			if got := runMakespan(t, p, e.name); got != old {
+				t.Fatalf("seed %d %s: flat %d, Run %d", seed, e.name, old, got)
+			}
+		}
+		if a, err := semimatch.ExpectedGreedyHypExact(h, semimatch.HyperOptions{}); err != nil {
+			t.Fatal(err)
+		} else if old := semimatch.HyperMakespan(h, a); old != runMakespan(t, p, "EGH-X") {
+			t.Fatalf("seed %d EGH-X mismatch", seed)
+		}
+
+		small := seededHyper(t, seed+10, 12)
+		ps := semimatch.HypergraphProblem(small)
+		_, m1, err := semimatch.SolveMultiProc(small, semimatch.BnBOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, m2, err := semimatch.SolveMultiProcPar(small, semimatch.BnBOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1 != m2 {
+			t.Fatalf("seed %d: sequential %d vs parallel %d", seed, m1, m2)
+		}
+		if got := runMakespan(t, ps, "BnB-MP"); got != m1 {
+			t.Fatalf("seed %d BnB-MP: flat %d, Run %d", seed, m1, got)
+		}
+	}
+}
+
+// TestCompatPortfolio: the flat Portfolio and Run's auto policy with the
+// exact stage disabled are the same race, same winner, same makespan.
+func TestCompatPortfolio(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		h := seededHyper(t, seed, 30)
+		res, err := semimatch.Portfolio(h, semimatch.PortfolioOptions{Refine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := semimatch.Run(context.Background(), semimatch.HypergraphProblem(h),
+			semimatch.WithRefine(), semimatch.WithExactLimit(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Makespan != res.Makespan || rep.Solver != res.Winner {
+			t.Fatalf("seed %d: Portfolio (%d, %s) vs Run (%d, %s)",
+				seed, res.Makespan, res.Winner, rep.Makespan, rep.Solver)
+		}
+	}
+}
+
+// TestCompatSolveBatch: the deprecated hypergraph-only SolveBatch and the
+// class-generic SolveProblems report identical makespans, sources and
+// optimality on the same instances.
+func TestCompatSolveBatch(t *testing.T) {
+	var instances []*semimatch.Hypergraph
+	var problems []semimatch.Problem
+	for seed := int64(0); seed < 8; seed++ {
+		h := seededHyper(t, seed+20, 8+int(seed))
+		instances = append(instances, h)
+		problems = append(problems, semimatch.HypergraphProblem(h))
+	}
+	old, err := semimatch.SolveBatch(context.Background(), instances, semimatch.BatchOptions{Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := semimatch.SolveProblems(context.Background(), problems, semimatch.BatchOptions{Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range old {
+		if old[i].Err != nil || outs[i].Err != nil {
+			t.Fatalf("instance %d: %v / %v", i, old[i].Err, outs[i].Err)
+		}
+		rep := outs[i].Report
+		if old[i].Makespan != rep.Makespan || old[i].Optimal != rep.Optimal() {
+			t.Fatalf("instance %d: SolveBatch (%d, %v) vs SolveProblems (%d, %v)",
+				i, old[i].Makespan, old[i].Optimal, rep.Makespan, rep.Optimal())
+		}
+	}
+}
+
+// TestCompatSchedFrontEnd: the scheduling front end still solves through
+// the registry and agrees with Run on its hypergraph form.
+func TestCompatSchedFrontEnd(t *testing.T) {
+	in := semimatch.NewInstance("p0", "p1", "p2")
+	in.AddTask("a",
+		semimatch.Config{Procs: []int{0}, Time: 6},
+		semimatch.Config{Procs: []int{1, 2}, Time: 3})
+	in.AddTask("b", semimatch.Config{Procs: []int{1}, Time: 4})
+	in.AddTask("c", semimatch.Config{Procs: []int{0, 2}, Time: 2})
+	s, err := semimatch.Solve(in, semimatch.ExactSchedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := in.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := semimatch.Run(context.Background(), semimatch.HypergraphProblem(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != semimatch.StatusOptimal || rep.Makespan != s.Makespan {
+		t.Fatalf("sched %d vs Run %d (%v)", s.Makespan, rep.Makespan, rep.Status)
+	}
+}
+
+// TestCompatServiceAndFingerprint: the service path and Problem
+// fingerprints stay aligned with the flat API.
+func TestCompatServiceAndFingerprint(t *testing.T) {
+	h := seededHyper(t, 33, 10)
+	fp1, err := semimatch.Fingerprint(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := semimatch.HypergraphProblem(h).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("Fingerprint %s vs Problem.Fingerprint %s", fp1, fp2)
+	}
+
+	svc := semimatch.NewService(semimatch.ServiceOptions{})
+	res, err := svc.Solve(context.Background(), h, "EVG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := semimatch.HyperMakespan(h, semimatch.ExpectedVectorGreedyHyp(h, semimatch.HyperOptions{}))
+	if res.Makespan != want {
+		t.Fatalf("service EVG %d, flat EVG %d", res.Makespan, want)
+	}
+}
+
+// TestCompatSymbolLedger pins the rest of the pre-redesign surface at
+// compile time: if a future change drops or retypes one of these
+// symbols, this file stops compiling (and the CI API-surface guard
+// flags the doc diff).
+func TestCompatSymbolLedger(t *testing.T) {
+	var (
+		_ semimatch.Solver           //nolint
+		_ semimatch.SolverOptions    //nolint
+		_ semimatch.SolverClass      //nolint
+		_ semimatch.SolverKind       //nolint
+		_ semimatch.SolverCost       //nolint
+		_ semimatch.Graph            //nolint
+		_ semimatch.GraphBuilder     //nolint
+		_ semimatch.Hypergraph       //nolint
+		_ semimatch.Assignment       //nolint
+		_ semimatch.HyperAssignment  //nolint
+		_ semimatch.GreedyOptions    //nolint
+		_ semimatch.HyperOptions     //nolint
+		_ semimatch.ExactOptions     //nolint
+		_ semimatch.RefineOptions    //nolint
+		_ semimatch.RefineResult     //nolint
+		_ semimatch.PortfolioOptions //nolint
+		_ semimatch.PortfolioResult  //nolint
+		_ semimatch.OnlineScheduler  //nolint
+		_ semimatch.BatchOptions     //nolint
+		_ semimatch.BatchRunner      //nolint
+		_ semimatch.BnBOptions       //nolint
+		_ semimatch.BnBStats         //nolint
+		_ semimatch.Generator        //nolint
+		_ semimatch.WeightScheme     //nolint
+		_ semimatch.HyperParams      //nolint
+		_ semimatch.X3C              //nolint
+		_ semimatch.Config           //nolint
+		_ semimatch.Task             //nolint
+		_ semimatch.Instance         //nolint
+		_ semimatch.Schedule         //nolint
+		_ semimatch.Timeline         //nolint
+		_ semimatch.Algorithm        //nolint
+		_ semimatch.Service          //nolint
+		_ semimatch.ServiceOptions   //nolint
+		_ semimatch.ServiceResult    //nolint
+		_ semimatch.ServiceStats     //nolint
+	)
+	var _ = []any{
+		semimatch.Solvers, semimatch.LookupSolver, semimatch.LookupClassSolver,
+		semimatch.NewGraphBuilder, semimatch.NewHypergraphBuilder,
+		semimatch.LowerBoundSingle, semimatch.LowerBound,
+		semimatch.ExactUnit, semimatch.HarveyOptimal,
+		semimatch.Refine, semimatch.RefineCtx,
+		semimatch.Portfolio, semimatch.PortfolioCtx,
+		semimatch.NewOnlineScheduler, semimatch.OnlineReplay, semimatch.OnlineCompetitiveRatio,
+		semimatch.Loads, semimatch.Makespan, semimatch.ValidateAssignment,
+		semimatch.HyperLoads, semimatch.HyperMakespan, semimatch.ValidateHyperAssignment,
+		semimatch.SolveSingleProc, semimatch.SolveMultiProc,
+		semimatch.SolveSingleProcCtx, semimatch.SolveMultiProcCtx,
+		semimatch.SolveSingleProcPar, semimatch.SolveMultiProcPar,
+		semimatch.SolveSingleProcParCtx, semimatch.SolveMultiProcParCtx,
+		semimatch.NewBatchRunner, semimatch.SolveBatch, semimatch.SolveProblems,
+		semimatch.GenerateBipartite, semimatch.GenerateHypergraph,
+		semimatch.Fig1, semimatch.Chain, semimatch.ChainPlus, semimatch.ExpectedTrap,
+		semimatch.NewInstance, semimatch.Solve, semimatch.SolveByName,
+		semimatch.Fingerprint, semimatch.NewService,
+		semimatch.WriteGraph, semimatch.ReadGraph,
+		semimatch.WriteHypergraph, semimatch.ReadHypergraph,
+		semimatch.ErrLimit, semimatch.ErrCancelled,
+		semimatch.ErrServiceOverloaded, semimatch.ErrUnknownAlgorithm,
+	}
+	// Constants of the pre-redesign surface.
+	_ = []any{
+		semimatch.ClassSingleProc, semimatch.ClassMultiProc,
+		semimatch.KindHeuristic, semimatch.KindExact, semimatch.KindOnline,
+		semimatch.CostNearLinear, semimatch.CostPolynomial, semimatch.CostExponential,
+		semimatch.SearchIncremental, semimatch.SearchBisection,
+		semimatch.TestCapacitated, semimatch.TestReplicate, semimatch.TestReplicateHK,
+		semimatch.HiLo, semimatch.FewgManyg, semimatch.Unit, semimatch.Related, semimatch.Random,
+		semimatch.SGH, semimatch.EGH, semimatch.VGH,
+		semimatch.ExpectedVectorGreedy, semimatch.ExactSchedule,
+	}
+	_ = time.Second // keep the import for future timing assertions
+}

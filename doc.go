@@ -17,89 +17,103 @@
 // in a bipartite hypergraph; NP-complete even with unit weights, and not
 // approximable within 2−ε unless P=NP (Theorem 1).
 //
-// # What the package provides
+// # The unified solve API: Problem → Run → Report
 //
-//   - Exact SINGLEPROC-UNIT solver (deadline search over capacitated
-//     matchings) and the Harvey–Ladner–Lovász–Tamir optimal semi-matching.
-//   - The greedy heuristics basic/sorted/double-sorted/expected for
-//     bipartite instances, and SGH/VGH/EGH/EVG for hypergraph instances,
-//     plus the Eq. (1) lower bound.
-//   - Branch-and-bound exact solvers for small NP-hard instances,
-//     sequential and parallel: the work-stealing engine (BnB-SP-Par,
-//     BnB-MP-Par) shares an atomic incumbent across Workers workers and
-//     adds cheapest-cost ordering, a max-element bound and processor
-//     symmetry breaking.
-//   - The paper's random instance generators (HiLo, FewgManyg, two-stage
-//     hypergraphs; unit/related/random weights) and worst-case families.
-//   - A scheduling front end (named tasks and processors, Gantt charts)
-//     and an experiment harness regenerating every table of the paper.
-//   - A context-aware batch-solving layer that shards many instances
-//     across all cores.
-//   - A capability-aware solver registry: every algorithm is one
-//     self-describing catalog entry, and Solvers() / LookupSolver()
-//     expose the catalog for discovery.
+// Both encodings solve through one class-generic surface. A Problem wraps
+// either instance kind; Run answers it; the Report carries the schedule
+// in the problem's own encoding, the makespan, the load-balance lower
+// bound, the optimality status (StatusOptimal / StatusHeuristic /
+// StatusTruncated), the producing solver's name, search statistics and
+// wall time:
 //
-// # Quick start
+//	g := ...  // *semimatch.Graph (SINGLEPROC)
+//	h := ...  // *semimatch.Hypergraph (MULTIPROC)
 //
-//	in := semimatch.NewInstance("cpu0", "cpu1", "gpu")
-//	in.AddTask("render",
-//	    semimatch.Config{Procs: []int{0}, Time: 8},
-//	    semimatch.Config{Procs: []int{0, 2}, Time: 3})
-//	in.AddTask("encode", semimatch.Config{Procs: []int{1}, Time: 6})
-//	s, err := semimatch.Solve(in, semimatch.ExpectedVectorGreedy)
-//	// s.Makespan, s.Choice, s.Simulate() ...
+//	rg, err := semimatch.Run(ctx, semimatch.GraphProblem(g))
+//	rh, err := semimatch.Run(ctx, semimatch.HypergraphProblem(h))
+//	// rg.Makespan, rg.Status, rg.Solver, rh.LowerBound, ...
 //
-// # Cancellation, deadlines, batching
+// Without options, Run applies the auto policy: a race over the class's
+// heuristic lineup, then — when the instance is small enough — an exact
+// branch-and-bound attempt that can prove optimality. Functional options
+// tune one run:
 //
-// The long-running solvers have context-aware entry points. The
-// branch-and-bound searches (SolveSingleProcCtx, SolveMultiProcCtx) poll
-// the context alongside their node budget and, when it is cancelled,
-// return the best schedule found so far with an error wrapping
-// ErrCancelled. PortfolioCtx races the heuristics against a deadline and
-// judges whichever candidates finished in time; RefineCtx winds local
-// search down at the next poll, keeping its (never worse) intermediate
-// result.
+//	rep, err := semimatch.Run(ctx, p,
+//	    semimatch.WithAlgorithm("bnb-par"),      // any registry name or alias
+//	    semimatch.WithDeadline(2*time.Second),   // anytime: truncates, never fails
+//	    semimatch.WithWorkers(8),                // parallel solver pool
+//	    semimatch.WithNodeBudget(50_000_000),    // branch-and-bound cap
+//	    semimatch.WithRefine(),                  // MULTIPROC local search
+//	)
 //
-// SolveBatch builds on these to solve many instances at once on a
-// GOMAXPROCS-wide worker pool with per-instance error isolation:
+// Run is an anytime solver: a deadline or node budget degrades the answer
+// to the best schedule found so far (StatusTruncated) instead of
+// discarding it, and an Observer watches the incumbent tighten while a
+// long solve is still running:
 //
-//	results, err := semimatch.SolveBatch(ctx, instances, semimatch.BatchOptions{
+//	rep, err := semimatch.Run(ctx, p,
+//	    semimatch.WithAlgorithm("bnb-par"),
+//	    semimatch.WithObserver(func(inc semimatch.Incumbent) {
+//	        log.Printf("makespan %d after %v", inc.Makespan, inc.Elapsed)
+//	    }))
+//
+// Observations are monotonically non-increasing in makespan, serialized,
+// polled at solver checkpoints (never per search node), and closed by one
+// Final observation that matches the returned Report. Every dispatch
+// layer — SolveProblems batching, the solving service, the CLIs — routes
+// through Run, so the observer and the anytime contract are available
+// everywhere.
+//
+// # Batch solving
+//
+// SolveProblems shards many Problems — both classes freely mixed — across
+// a GOMAXPROCS-wide worker pool with per-problem error isolation; each
+// problem runs the auto policy:
+//
+//	outcomes, err := semimatch.SolveProblems(ctx, problems, semimatch.BatchOptions{
 //	    Refine: true,                       // local search on every candidate
-//	    InstanceTimeout: time.Second,       // per-instance budget
+//	    InstanceTimeout: time.Second,       // per-problem budget
 //	})
-//	// results[i].Makespan, results[i].Optimal, results[i].Err ...
+//	// outcomes[i].Report.Makespan, .Status, outcomes[i].Err ...
 //
-// Each instance runs the portfolio first, then — when small enough — an
-// exact branch-and-bound attempt (the parallel engine, worker-budgeted
-// against the pool) that can prove optimality, falling back to the best
-// schedule found when a budget expires. Makespans are deterministic in
-// the worker count.
+// SolveBatch is the deprecated hypergraph-only wrapper over the same
+// runner.
+//
+// # Direct algorithm access
+//
+// The paper's algorithms remain addressable directly: the exact
+// SINGLEPROC-UNIT solver (ExactUnit, deadline search over capacitated
+// matchings; HarveyOptimal as an independent baseline), the greedy
+// heuristics basic/sorted/double-sorted/expected (bipartite) and
+// SGH/VGH/EGH/EVG (hypergraph), the Eq. (1) lower bound, branch-and-bound
+// exact solvers for small NP-hard instances — sequential and
+// work-stealing parallel — the paper's random instance generators and
+// worst-case families, and a scheduling front end (named tasks and
+// processors, Gantt charts). These are thin wrappers over the same
+// machinery Run dispatches to.
 //
 // # Solver discovery
 //
 // Every algorithm is registered once in a central solver registry with
 // its capability metadata — problem class (SINGLEPROC/MULTIPROC), kind
-// (heuristic/exact/online) and cost class. Portfolio membership, the
-// benchmark tables, Solve's Algorithm enum and SolveBatch's exact-attempt
-// policy all resolve through it:
+// (heuristic/exact/online) and cost class. WithAlgorithm, portfolio
+// membership, the benchmark tables and the auto policy's exact-attempt
+// stage all resolve through it:
 //
 //	for _, s := range semimatch.Solvers() {
 //	    fmt.Println(s.Name, s.Class, s.Kind, s.Cost)
 //	}
 //	sol, err := semimatch.LookupSolver("evg")       // aliases work
-//	a, err := sol.SolveHyper(ctx, h, semimatch.SolverOptions{})
 //
 // # Solving as a service
 //
 // Fingerprint(instance) hashes an instance's canonical form — the
-// deterministic reordering that makes isomorphic instances (same
-// structure under configuration/processor reordering) byte-identical —
-// so identical problems can be recognized across requests. NewService
+// deterministic reordering that makes isomorphic instances byte-identical
+// — so identical problems can be recognized across requests. NewService
 // builds on it: a long-running, concurrency-safe solving service with a
 // sharded LRU result cache keyed by (fingerprint, algorithm, budget
-// class), single-flight deduplication (N concurrent identical requests
-// trigger one solve), and bounded-queue admission control that fails
-// fast with ErrServiceOverloaded instead of queueing unboundedly:
+// class), single-flight deduplication and bounded-queue admission
+// control. Both encodings flow through one request path onto Run:
 //
 //	svc := semimatch.NewService(semimatch.ServiceOptions{})
 //	res, err := svc.Solve(ctx, h, "")     // auto policy; or any registry name

@@ -1,10 +1,12 @@
 // Quickstart: build a small MULTIPROC instance through the public API,
-// schedule it with every algorithm, and print the resulting Gantt chart.
+// solve it with the unified Problem → Run → Report entry point, compare
+// every named algorithm, and print the resulting Gantt chart.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,6 +37,27 @@ func main() {
 		semimatch.Config{Procs: []int{2}, Time: 5},
 	)
 
+	// The unified solve API: wrap the instance's hypergraph form as a
+	// Problem and let Run's auto policy pick — a heuristic race first,
+	// then an exact proof since the instance is tiny. The same call
+	// would solve a bipartite SINGLEPROC Problem.
+	h, err := in.Hypergraph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := semimatch.Run(context.Background(), semimatch.HypergraphProblem(h),
+		semimatch.WithRefine(),
+		semimatch.WithObserver(func(inc semimatch.Incumbent) {
+			fmt.Printf("incumbent: makespan %d by %s (final=%v)\n", inc.Makespan, inc.Solver, inc.Final)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auto policy: makespan %d (%s, solver %s, lower bound %d)\n\n",
+		rep.Makespan, rep.Status, rep.Solver, rep.LowerBound)
+
+	// Named algorithms, per registry name, through the scheduling front
+	// end (which reports named tasks and simulates timelines).
 	for _, alg := range []semimatch.Algorithm{
 		semimatch.SGH, semimatch.EGH, semimatch.VGH,
 		semimatch.ExpectedVectorGreedy, semimatch.ExactSchedule,

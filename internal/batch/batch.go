@@ -1,21 +1,24 @@
-// Package batch solves many MULTIPROC instances at once on a worker pool —
-// the sharding/batching layer that turns the per-instance solvers into a
-// throughput-oriented subsystem. Instances are distributed across
-// GOMAXPROCS workers; each one is solved by a fixed per-instance policy:
+// Package batch solves many instances at once on a worker pool — the
+// sharding/batching layer that turns the per-instance solvers into a
+// throughput-oriented subsystem. Since the unified solve API landed, the
+// batch is class-generic: a work item is a solve.Problem (SINGLEPROC
+// bipartite or MULTIPROC hypergraph, freely mixed in one batch), and each
+// one runs the solve package's auto policy:
 //
-//  1. portfolio first — the concurrent heuristic race (optionally
-//     refined), which always produces a schedule quickly;
-//  2. exact second, when the instance is small enough — a branch-and-bound
-//     run under a node budget that either proves optimality or improves
-//     the incumbent;
+//  1. heuristic race first — the portfolio for hypergraphs, the greedy
+//     lineup for bipartite graphs — which always produces a schedule
+//     quickly;
+//  2. exact second, when the instance allows it — ExactUnit for unit
+//     bipartite instances, a budgeted branch-and-bound for small ones —
+//     which either proves optimality or improves the incumbent;
 //  3. fallback on timeout — every stage observes the context, so an
 //     expiring per-instance or batch deadline degrades the answer (best
 //     schedule found so far) instead of aborting it.
 //
-// Failures are isolated per instance: a nil instance, a panic, or a
-// timeout in one work item is recorded in its Result and never poisons its
-// siblings. Makespans are deterministic: for a given instance and options
-// the reported quality does not depend on the worker count or on
+// Failures are isolated per instance: an empty problem, a panic, or a
+// timeout in one work item is recorded in its Outcome and never poisons
+// its siblings. Makespans are deterministic: for a given instance and
+// options the reported quality does not depend on the worker count or on
 // goroutine timing (deadlines excepted, by nature). Since the exact stage
 // moved onto the parallel branch-and-bound engine, the schedule identity
 // may vary across runs when several co-optimal schedules exist — the
@@ -25,28 +28,27 @@ package batch
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"semimatch/internal/core"
-	"semimatch/internal/exact"
 	"semimatch/internal/hypergraph"
-	"semimatch/internal/portfolio"
 	"semimatch/internal/registry"
+	"semimatch/internal/solve"
 )
 
-// Defaults for the exact-solve stage of the per-instance policy.
+// Defaults for the exact-solve stage of the per-instance policy (shared
+// with the solve package, which implements the policy).
 const (
 	// DefaultExactTaskLimit is the largest instance (in tasks) that gets a
 	// branch-and-bound attempt when Options.ExactTaskLimit is zero.
-	DefaultExactTaskLimit = 16
+	DefaultExactTaskLimit = solve.DefaultExactTaskLimit
 	// DefaultExactNodes is the branch-and-bound node budget when
 	// Options.ExactNodes is zero — small enough to bound each attempt to
 	// tens of milliseconds.
-	DefaultExactNodes = 2_000_000
+	DefaultExactNodes = solve.DefaultExactNodes
 )
 
 // Options configures a batch run.
@@ -57,9 +59,11 @@ type Options struct {
 	// context; 0 means none. When it expires the instance keeps the best
 	// schedule found so far.
 	InstanceTimeout time.Duration
-	// Algorithms restricts the portfolio stage; nil means all members.
+	// Algorithms restricts the heuristic-race stage; nil means the
+	// class's full default lineup. Names resolve in each problem class
+	// present in the batch, so a mixed batch needs names valid in both.
 	Algorithms []string
-	// Refine post-processes every portfolio candidate with local search.
+	// Refine post-processes every hypergraph candidate with local search.
 	Refine bool
 	// ExactTaskLimit is the largest instance that also gets an exact
 	// branch-and-bound attempt; 0 means DefaultExactTaskLimit, negative
@@ -83,13 +87,6 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (o Options) exactTaskLimit() int {
-	if o.ExactTaskLimit == 0 {
-		return DefaultExactTaskLimit
-	}
-	return o.ExactTaskLimit
-}
-
 func (o Options) exactNodes() int64 {
 	if o.ExactNodes <= 0 {
 		return DefaultExactNodes
@@ -97,7 +94,23 @@ func (o Options) exactNodes() int64 {
 	return o.ExactNodes
 }
 
-// Result is the outcome for one instance of the batch.
+// Outcome is the per-problem result of RunProblems: the unified solve
+// Report, or this problem's failure. Exactly one of the two is nil —
+// except when the auto policy's exact stage failed unexpectedly, in which
+// case the heuristic-stage Report accompanies the error.
+type Outcome struct {
+	Report *solve.Report
+	Err    error
+	// Elapsed is the wall-clock time spent on this problem, set even
+	// when the solve failed (Report.Elapsed covers successes only).
+	Elapsed time.Duration
+}
+
+// Result is the legacy hypergraph-only outcome shape of Runner.Run,
+// derived from an Outcome.
+//
+// Deprecated: use RunProblems and Outcome, which cover both problem
+// classes and carry the full solve Report.
 type Result struct {
 	// Assignment is the best schedule found; nil only when Err is set and
 	// no stage produced a schedule.
@@ -117,25 +130,40 @@ type Result struct {
 	Elapsed time.Duration
 }
 
+// SourceLabel renders a Report's provenance in the legacy Result
+// vocabulary: the producing solver's canonical name, suffixed
+// "-incumbent" when the schedule came from a truncated exact search.
+func SourceLabel(rep *solve.Report) string {
+	if rep == nil {
+		return ""
+	}
+	if rep.Status == solve.StatusTruncated {
+		if s, err := registry.LookupClass(rep.Class, rep.Solver); err == nil && s.Kind == registry.Exact {
+			return rep.Solver + "-incumbent"
+		}
+	}
+	return rep.Solver
+}
+
+// legacy converts an Outcome to the deprecated Result shape.
+func (o Outcome) legacy() Result {
+	res := Result{Err: o.Err, Elapsed: o.Elapsed}
+	if rep := o.Report; rep != nil {
+		res.Assignment = core.HyperAssignment(rep.Assignment)
+		res.Makespan = rep.Makespan
+		res.Source = SourceLabel(rep)
+		res.Optimal = rep.Status == solve.StatusOptimal
+	}
+	return res
+}
+
 // Runner is a reusable batch solver.
 type Runner struct {
 	opts Options
-	// exactSolver is the solver the exact-attempt stage uses, chosen from
-	// the registry by capability (kind Exact for MULTIPROC, cheapest cost
-	// class first, upgraded to its parallel counterpart when one is
-	// registered); nil when the catalog has none, which disables the
-	// stage.
-	exactSolver *registry.Solver
 }
 
 // New returns a Runner with the given options.
-func New(opts Options) *Runner {
-	r := &Runner{opts: opts}
-	if exacts := registry.Find(registry.MultiProc, registry.Exact); len(exacts) > 0 {
-		r.exactSolver = registry.Preferred(exacts[0])
-	}
-	return r
-}
+func New(opts Options) *Runner { return &Runner{opts: opts} }
 
 // exactWorkers budgets the exact stage's internal worker pool so the
 // batch as a whole stays at roughly GOMAXPROCS goroutines: the pool
@@ -153,98 +181,103 @@ func (r *Runner) exactWorkers() int {
 	return 1
 }
 
-// Run solves every instance and returns one Result per instance, in input
-// order. A configuration error (unknown portfolio algorithm) fails the
-// whole batch up front with nil results; per-instance failures land in the
-// matching Result.Err. When ctx is cancelled mid-batch Run returns
-// promptly with the partial results alongside ctx's error: in-flight
-// solvers stop at their next context poll (keeping their best schedule so
-// far) and instances that never started carry a "not started" error.
-func (r *Runner) Run(ctx context.Context, instances []*hypergraph.Hypergraph) ([]Result, error) {
-	if err := portfolio.ValidateAlgorithms(r.opts.Algorithms); err != nil {
-		return nil, fmt.Errorf("batch: %w", err)
+// validate fails fast on algorithm names that do not resolve in the
+// class of some problem in the batch, so a bad Options value is an
+// upfront error rather than N per-instance ones.
+func (r *Runner) validate(problems []solve.Problem) error {
+	if len(r.opts.Algorithms) == 0 {
+		return nil
 	}
-	results := make([]Result, len(instances))
-	started := make([]bool, len(instances))
-	err := ForEach(ctx, r.opts.workers(), len(instances), func(ctx context.Context, i int) error {
+	var checked [2]bool
+	for _, p := range problems {
+		if p.Validate() != nil {
+			continue
+		}
+		c := p.Class()
+		if checked[c] {
+			continue
+		}
+		checked[c] = true
+		if _, _, err := registry.ResolveClass(c, r.opts.Algorithms, nil); err != nil {
+			return fmt.Errorf("batch: %w", err)
+		}
+	}
+	return nil
+}
+
+// RunProblems solves every problem — SINGLEPROC and MULTIPROC freely
+// mixed — and returns one Outcome per problem, in input order. A
+// configuration error (an algorithm name unknown in some problem's class)
+// fails the whole batch up front with nil results; per-problem failures
+// land in the matching Outcome.Err. When ctx is cancelled mid-batch
+// RunProblems returns promptly with the partial results alongside ctx's
+// error: in-flight solvers stop at their next context poll (keeping their
+// best schedule so far) and problems that never started carry a "not
+// started" error.
+func (r *Runner) RunProblems(ctx context.Context, problems []solve.Problem) ([]Outcome, error) {
+	if err := r.validate(problems); err != nil {
+		return nil, err
+	}
+	outs := make([]Outcome, len(problems))
+	started := make([]bool, len(problems))
+	err := ForEach(ctx, r.opts.workers(), len(problems), func(ctx context.Context, i int) error {
 		started[i] = true
-		results[i] = r.solveOne(ctx, instances[i])
+		outs[i] = r.solveOne(ctx, problems[i])
 		return nil
 	})
-	for i := range results {
+	for i := range outs {
 		if !started[i] {
-			results[i] = Result{Err: fmt.Errorf("batch: not started: %w", ctx.Err())}
+			outs[i] = Outcome{Err: fmt.Errorf("batch: not started: %w", ctx.Err())}
 		}
+	}
+	return outs, err
+}
+
+// Run solves many MULTIPROC instances; it is RunProblems restricted to
+// hypergraphs, kept for callers of the pre-unification API.
+//
+// Deprecated: Run accepts only hypergraphs. Use RunProblems, which takes
+// []solve.Problem and batches both problem classes.
+func (r *Runner) Run(ctx context.Context, instances []*hypergraph.Hypergraph) ([]Result, error) {
+	problems := make([]solve.Problem, len(instances))
+	for i, h := range instances {
+		if h != nil {
+			problems[i] = solve.Hyper(h)
+		}
+	}
+	outs, err := r.RunProblems(ctx, problems)
+	if outs == nil {
+		return nil, err
+	}
+	results := make([]Result, len(outs))
+	for i, out := range outs {
+		results[i] = out.legacy()
 	}
 	return results, err
 }
 
-// solveOne applies the per-instance policy. It never lets a failure
-// escape: panics and errors end up in the Result.
-func (r *Runner) solveOne(ctx context.Context, h *hypergraph.Hypergraph) (res Result) {
+// solveOne applies the per-instance policy (solve.RunOptions). It never
+// lets a failure escape: panics and errors end up in the Outcome.
+func (r *Runner) solveOne(ctx context.Context, p solve.Problem) (out Outcome) {
 	start := time.Now()
 	defer func() {
-		if p := recover(); p != nil {
-			res = Result{Err: fmt.Errorf("batch: panic solving instance: %v", p)}
+		if pv := recover(); pv != nil {
+			out = Outcome{Err: fmt.Errorf("batch: panic solving instance: %v", pv)}
 		}
-		res.Elapsed = time.Since(start)
+		out.Elapsed = time.Since(start)
 	}()
-	if h == nil {
-		return Result{Err: errors.New("batch: nil instance")}
-	}
-	ictx := ctx
-	if r.opts.InstanceTimeout > 0 {
-		var cancel context.CancelFunc
-		ictx, cancel = context.WithTimeout(ctx, r.opts.InstanceTimeout)
-		defer cancel()
-	}
-
-	// Stage 1: portfolio. Workers=1 — the batch pool already owns the
-	// cores; nested fan-out would just add scheduling noise.
-	pres, err := portfolio.SolveCtx(ictx, h, portfolio.Options{
-		Algorithms: r.opts.Algorithms,
-		Refine:     r.opts.Refine,
-		Workers:    1,
+	rep, err := solve.RunOptions(ctx, p, solve.Options{
+		Portfolio: r.opts.Algorithms,
+		Refine:    r.opts.Refine,
+		// The batch pool already owns the cores; nested heuristic fan-out
+		// would just add scheduling noise.
+		Workers:        1,
+		ExactWorkers:   r.exactWorkers(),
+		NodeBudget:     r.opts.exactNodes(),
+		ExactTaskLimit: r.opts.ExactTaskLimit,
+		Deadline:       r.opts.InstanceTimeout,
 	})
-	if err != nil {
-		return Result{Err: err}
-	}
-	res = Result{Assignment: pres.Assignment, Makespan: pres.Makespan, Source: pres.Winner}
-
-	// Stage 2: exact, for small instances with budget left. The solver
-	// comes from the registry's capability metadata, not a hardcoded
-	// import: whichever exact MULTIPROC solver is registered (cheapest
-	// cost class first) gets the attempt.
-	if lim := r.opts.exactTaskLimit(); r.exactSolver != nil && lim > 0 && h.NTasks <= lim && ictx.Err() == nil {
-		a, exErr := r.exactSolver.SolveHyper(ictx, h, registry.Options{
-			BnB:     exact.Options{MaxNodes: r.opts.exactNodes()},
-			Workers: r.exactWorkers(),
-		})
-		var m int64
-		if a != nil {
-			m = core.HyperMakespan(h, a)
-		}
-		switch {
-		case exErr == nil:
-			// Proven optimal. Prefer the portfolio schedule on a tie so
-			// the refined load vector survives.
-			if m < res.Makespan {
-				res.Assignment, res.Makespan, res.Source = a, m, r.exactSolver.Name
-			}
-			res.Optimal = true
-		case a != nil && registry.IncumbentError(exErr):
-			// Stage 3, fallback: the truncated search still returns its
-			// incumbent, which may beat the portfolio.
-			if m < res.Makespan {
-				res.Assignment, res.Makespan, res.Source = a, m, r.exactSolver.Name+"-incumbent"
-			}
-		default:
-			// Structural errors (no processors, isolated task) would have
-			// failed the portfolio already; surface anything unexpected.
-			res.Err = exErr
-		}
-	}
-	return res
+	return Outcome{Report: rep, Err: err}
 }
 
 // ForEach runs fn(ctx, i) for every index in [0, n) on a pool of workers —

@@ -11,8 +11,11 @@ import (
 	"testing"
 	"time"
 
+	"semimatch/internal/bipartite"
 	"semimatch/internal/core"
+	"semimatch/internal/exact"
 	"semimatch/internal/hypergraph"
+	"semimatch/internal/solve"
 )
 
 func randomHyper(rng *rand.Rand, nTasks, nProcs, maxDeg, maxSize int, maxW int64) *hypergraph.Hypergraph {
@@ -234,6 +237,96 @@ func TestBatchInstanceTimeoutFallsBackToHeuristic(t *testing.T) {
 	}
 	if err := core.ValidateHyperAssignment(instances[0], res.Assignment); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// randomGraph builds a seeded SINGLEPROC instance (unit or weighted).
+func randomGraph(rng *rand.Rand, nTasks, nProcs, maxDeg int, maxW int64) *bipartite.Graph {
+	b := bipartite.NewBuilder(nTasks, nProcs)
+	for t := 0; t < nTasks; t++ {
+		d := 1 + rng.Intn(maxDeg)
+		perm := rng.Perm(nProcs)
+		for j := 0; j < d && j < nProcs; j++ {
+			w := int64(1)
+			if maxW > 1 {
+				w = 1 + rng.Int63n(maxW)
+			}
+			b.AddWeightedEdge(t, perm[j], w)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestBatchSingleProcProblems: SINGLEPROC batching through the
+// class-generic runner — the workload the hypergraph-only SolveBatch
+// could never serve. Unit instances get the polynomial ExactUnit proof,
+// small weighted ones the branch-and-bound attempt.
+func TestBatchSingleProcProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var problems []solve.Problem
+	for i := 0; i < 24; i++ {
+		if i%2 == 0 {
+			problems = append(problems, solve.Bipartite(randomGraph(rng, 10+rng.Intn(30), 2+rng.Intn(6), 3, 1)))
+		} else {
+			problems = append(problems, solve.Bipartite(randomGraph(rng, 6+rng.Intn(8), 2+rng.Intn(3), 3, 9)))
+		}
+	}
+	outs, err := New(Options{}).RunProblems(context.Background(), problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal := 0
+	for i, out := range outs {
+		if out.Err != nil {
+			t.Fatalf("problem %d: %v", i, out.Err)
+		}
+		rep := out.Report
+		g := problems[i].Graph()
+		if err := core.ValidateAssignment(g, core.Assignment(rep.Assignment)); err != nil {
+			t.Fatalf("problem %d: %v", i, err)
+		}
+		if m := core.Makespan(g, core.Assignment(rep.Assignment)); m != rep.Makespan {
+			t.Fatalf("problem %d: reported makespan mismatch", i)
+		}
+		if rep.Optimal() {
+			optimal++
+			// Cross-check a proven optimum against the sequential solver.
+			if _, want, err := exact.SolveSingleProc(g, exact.Options{}); err != nil {
+				t.Fatal(err)
+			} else if rep.Makespan != want {
+				t.Fatalf("problem %d: claimed optimum %d, true optimum %d", i, rep.Makespan, want)
+			}
+		}
+	}
+	if optimal < len(outs)/2 {
+		t.Fatalf("only %d/%d SINGLEPROC problems proven optimal", optimal, len(outs))
+	}
+}
+
+// TestBatchMixedClasses: both encodings in one batch, solved in one call.
+func TestBatchMixedClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	problems := []solve.Problem{
+		solve.Hyper(randomHyper(rng, 8, 3, 3, 2, 7)),
+		solve.Bipartite(randomGraph(rng, 12, 4, 3, 1)),
+		{}, // empty problem: isolated per-problem error
+		solve.Bipartite(randomGraph(rng, 8, 3, 2, 9)),
+		solve.Hyper(randomHyper(rng, 30, 6, 3, 3, 12)),
+	}
+	outs, err := New(Options{Workers: 2}).RunProblems(context.Background(), problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[2].Err == nil {
+		t.Fatal("empty problem must carry an error")
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if outs[i].Err != nil {
+			t.Fatalf("sibling %d poisoned: %v", i, outs[i].Err)
+		}
+		if outs[i].Report.Class != problems[i].Class() {
+			t.Fatalf("problem %d: class mismatch", i)
+		}
 	}
 }
 

@@ -42,12 +42,16 @@ var ErrCancelled = errors.New("exact: cancelled")
 const ctxCheckInterval = 4096
 
 // stopper folds the two ways a search can stop early — node budget and
-// context cancellation — into one cheap per-node check.
+// context cancellation — into one cheap per-node check. The same
+// checkpoint also drives the incumbent observer: notify (when set) runs
+// every ctxCheckInterval nodes, so observation shares the existing poll
+// instead of adding a branch to the hot loop.
 type stopper struct {
 	nodes      int64
 	expanded   int64
 	sinceCheck int
 	done       <-chan struct{}
+	notify     func()
 	stopped    bool
 	cancelled  bool
 }
@@ -68,15 +72,20 @@ func (s *stopper) stop() bool {
 		return true
 	}
 	s.expanded++
-	if s.done != nil {
+	if s.done != nil || s.notify != nil {
 		s.sinceCheck++
 		if s.sinceCheck >= ctxCheckInterval {
 			s.sinceCheck = 0
-			select {
-			case <-s.done:
-				s.stopped, s.cancelled = true, true
-				return true
-			default:
+			if s.notify != nil {
+				s.notify()
+			}
+			if s.done != nil {
+				select {
+				case <-s.done:
+					s.stopped, s.cancelled = true, true
+					return true
+				default:
+				}
 			}
 		}
 	}
@@ -108,6 +117,16 @@ type Options struct {
 	// Stats, when non-nil, receives search statistics (nodes expanded,
 	// workers used, ...) when the solve returns.
 	Stats *SearchStats
+	// Observer, when non-nil, receives the search's incumbent trajectory:
+	// the initial greedy schedule, then every improvement, then the final
+	// best — each call gets the makespan and a private copy of the
+	// assignment. Observations are polled at the existing budget and
+	// cancellation checkpoints (never per node), so makespans are strictly
+	// decreasing after the first call and an improvement is reported at
+	// most one checkpoint interval after a worker finds it. The parallel
+	// solvers serialize calls across workers; the callback must not block
+	// for long and must not panic (wrap it if it may).
+	Observer func(makespan int64, assignment []int32)
 }
 
 // SearchStats reports how much work a branch-and-bound search did — the
@@ -199,6 +218,18 @@ func SolveSingleProcCtx(ctx context.Context, g *bipartite.Graph, opts Options) (
 	cur := append(core.Assignment(nil), inc...)
 	var total int64
 	st := newStopper(ctx, opts.maxNodes())
+	notify := func() {}
+	if obs := opts.Observer; obs != nil {
+		lastObs := best + 1
+		notify = func() {
+			if best < lastObs {
+				lastObs = best
+				obs(best, append([]int32(nil), bestA...))
+			}
+		}
+		st.notify = notify
+		notify() // the initial greedy incumbent
+	}
 
 	var rec func(i int, curMax int64)
 	rec = func(i int, curMax int64) {
@@ -254,6 +285,7 @@ func SolveSingleProcCtx(ctx context.Context, g *bipartite.Graph, opts Options) (
 		}
 	}
 	rec(0, 0)
+	notify() // flush the final incumbent to the observer
 	if opts.Stats != nil {
 		*opts.Stats = SearchStats{Nodes: st.expanded, Workers: 1}
 	}
@@ -315,6 +347,18 @@ func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Optio
 	cur := append(core.HyperAssignment(nil), inc...)
 	var total int64
 	st := newStopper(ctx, opts.maxNodes())
+	notify := func() {}
+	if obs := opts.Observer; obs != nil {
+		lastObs := best + 1
+		notify = func() {
+			if best < lastObs {
+				lastObs = best
+				obs(best, append([]int32(nil), bestA...))
+			}
+		}
+		st.notify = notify
+		notify() // the initial greedy incumbent
+	}
 
 	var rec func(i int, curMax int64)
 	rec = func(i int, curMax int64) {
@@ -354,6 +398,7 @@ func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Optio
 		}
 	}
 	rec(0, 0)
+	notify() // flush the final incumbent to the observer
 	if opts.Stats != nil {
 		*opts.Stats = SearchStats{Nodes: st.expanded, Workers: 1}
 	}

@@ -86,7 +86,40 @@ type parShared struct {
 	bestM int64 // makespan of bestA; equals best once workers quiesce
 	bestA []int32
 
+	// Incumbent observer plumbing: obsFn is Options.Observer; obsSent is
+	// the makespan of the last observation (MaxInt64 before the first),
+	// loaded lock-free as the fast path of observe(); obsMu serializes
+	// delivery so observations are strictly decreasing across workers.
+	obsFn   func(int64, []int32)
+	obsSent atomic.Int64
+	obsMu   sync.Mutex
+
 	deques []wsDeque
+}
+
+// observe delivers the current incumbent to the observer if it improves
+// on the last observation. It is called at budget-block claims (every
+// sh.block nodes per worker, never per node) and once before the solver
+// returns, so the hot search loop stays observation-free. The double
+// check under obsMu keeps deliveries strictly decreasing even when
+// several workers race past the lock-free fast path.
+func (sh *parShared) observe() {
+	if sh.obsFn == nil || sh.best.Load() >= sh.obsSent.Load() {
+		return
+	}
+	sh.obsMu.Lock()
+	defer sh.obsMu.Unlock()
+	sh.mu.Lock()
+	m := sh.bestM
+	var a []int32
+	if m < sh.obsSent.Load() {
+		a = append([]int32(nil), sh.bestA...)
+	}
+	sh.mu.Unlock()
+	if a != nil {
+		sh.obsSent.Store(m)
+		sh.obsFn(m, a)
+	}
 }
 
 func newParShared(incumbent []int32, m int64, maxNodes int64, workers int) *parShared {
@@ -97,6 +130,7 @@ func newParShared(incumbent []int32, m int64, maxNodes int64, workers int) *parS
 	}
 	sh.best.Store(m)
 	sh.budget.Store(maxNodes)
+	sh.obsSent.Store(int64(^uint64(0) >> 1)) // MaxInt64: nothing observed yet
 	// Scale the claim block to the budget so small user budgets are not
 	// stranded inside per-worker claims: with W workers at most
 	// W·block ≈ budget/8 can sit unspent when the shared counter hits
@@ -180,6 +214,9 @@ func (tk *ticker) node() bool {
 		return true
 	}
 	if tk.local == 0 {
+		// Block boundary: the only periodic checkpoint a worker hits, so
+		// the incumbent observer is polled here too.
+		tk.sh.observe()
 		if tk.local = tk.sh.claimBlock(); tk.local == 0 {
 			return true
 		}
@@ -850,6 +887,8 @@ func SolveSingleProcParCtx(ctx context.Context, g *bipartite.Graph, opts Options
 	inc := core.SortedGreedy(g, core.GreedyOptions{})
 	workers := opts.workers()
 	sh := newParShared(inc, core.Makespan(g, inc), opts.maxNodes(), workers)
+	sh.obsFn = opts.Observer
+	sh.observe() // the initial greedy incumbent
 	release := watchCancel(ctx, sh)
 	defer release()
 
@@ -861,6 +900,7 @@ func SolveSingleProcParCtx(ctx context.Context, g *bipartite.Graph, opts Options
 		runPool(sh, func() parSearcher { return newSPState(pr, sh) }, frontier, workers, fdepth)
 	}
 	release()
+	sh.observe() // flush the final incumbent to the observer
 	if opts.Stats != nil {
 		*opts.Stats = SearchStats{
 			Nodes:       sh.nodes.Load(),
@@ -1454,6 +1494,8 @@ func SolveMultiProcParCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Op
 	inc := core.SortedGreedyHyp(h, core.HyperOptions{})
 	workers := opts.workers()
 	sh := newParShared(inc, core.HyperMakespan(h, inc), opts.maxNodes(), workers)
+	sh.obsFn = opts.Observer
+	sh.observe() // the initial greedy incumbent
 	release := watchCancel(ctx, sh)
 	defer release()
 
@@ -1465,6 +1507,7 @@ func SolveMultiProcParCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Op
 		runPool(sh, func() parSearcher { return newMPState(pr, sh) }, frontier, workers, fdepth)
 	}
 	release()
+	sh.observe() // flush the final incumbent to the observer
 	if opts.Stats != nil {
 		*opts.Stats = SearchStats{
 			Nodes:       sh.nodes.Load(),

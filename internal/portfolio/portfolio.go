@@ -41,6 +41,13 @@ type Options struct {
 	Refine bool
 	// Workers bounds concurrency; 0 means GOMAXPROCS.
 	Workers int
+	// Observer, when non-nil, receives each member's completed candidate
+	// (after refinement) as it arrives: the member's canonical name, its
+	// makespan, and its assignment. Calls come from the collector
+	// goroutine, one at a time, in completion order (nondeterministic);
+	// the assignment is shared with the eventual Result — treat it as
+	// read-only. The callback must not panic (wrap it if it may).
+	Observer func(member string, makespan int64, a core.HyperAssignment)
 }
 
 // DefaultAlgorithms is the full default portfolio — the registry's
@@ -197,6 +204,16 @@ func SolveCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (Resu
 			firstErr = c.err
 		}
 	}
+	accept := func(c cand) {
+		if c.err != nil {
+			addErr(c)
+			return
+		}
+		cands = append(cands, c)
+		if opts.Observer != nil {
+			opts.Observer(c.name, c.m, c.a)
+		}
+	}
 	received := 0
 	done := ctx.Done()
 collect:
@@ -204,22 +221,14 @@ collect:
 		select {
 		case c := <-ch:
 			received++
-			if c.err != nil {
-				addErr(c)
-				continue
-			}
-			cands = append(cands, c)
+			accept(c)
 		case <-done:
 			// Deadline: drain whatever is already buffered, then judge.
 			for {
 				select {
 				case c := <-ch:
 					received++
-					if c.err != nil {
-						addErr(c)
-					} else {
-						cands = append(cands, c)
-					}
+					accept(c)
 				default:
 					break collect
 				}

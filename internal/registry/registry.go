@@ -174,6 +174,32 @@ type Solver struct {
 // optimal.
 func (s *Solver) Optimal() bool { return s.Kind == Exact }
 
+// SolveInstance is the class-generic dispatch: it routes a *bipartite.Graph
+// to SolveSingle and a *hypergraph.Hypergraph to SolveHyper, returning the
+// assignment in the instance's own encoding (task → processor for
+// SINGLEPROC, task → hyperedge id for MULTIPROC). A class mismatch — a
+// hypergraph handed to a SINGLEPROC solver, or vice versa — is a
+// descriptive error, not a panic. This is the entry point the unified
+// solve layer (internal/solve) runs every named algorithm through.
+func (s *Solver) SolveInstance(ctx context.Context, instance any, opts Options) ([]int32, error) {
+	switch v := instance.(type) {
+	case *bipartite.Graph:
+		if s.SolveSingle == nil {
+			return nil, fmt.Errorf("registry: %s is a %s solver; it cannot solve a bipartite (SINGLEPROC) instance", s.Name, s.Class)
+		}
+		a, err := s.SolveSingle(ctx, v, opts)
+		return []int32(a), err
+	case *hypergraph.Hypergraph:
+		if s.SolveHyper == nil {
+			return nil, fmt.Errorf("registry: %s is a %s solver; it cannot solve a hypergraph (MULTIPROC) instance", s.Name, s.Class)
+		}
+		a, err := s.SolveHyper(ctx, v, opts)
+		return []int32(a), err
+	default:
+		return nil, fmt.Errorf("registry: unsupported instance type %T", instance)
+	}
+}
+
 // catalog state: registration order is listing order, deterministic
 // because register is only called from catalog.go's init-time build.
 var (

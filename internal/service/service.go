@@ -20,12 +20,14 @@
 // default deadline; deadline-truncated solves still return the best
 // schedule found so far, flagged Truncated and kept out of the cache.
 //
-// Dispatch goes through the existing machinery: named algorithms resolve
-// via the solver registry, and the empty algorithm name selects the
-// "auto" policy — the batch.Runner per-instance pipeline (portfolio
-// first, exact branch-and-bound when small, fallback on timeout) for
-// hypergraphs, and the cheapest suitable registry solver (ExactUnit for
-// unit instances, the expected greedy otherwise) for bipartite graphs.
+// Dispatch goes through the unified solve API (internal/solve): both
+// encodings are wrapped as solve.Problems and answered by solve.Run —
+// named algorithms resolve via the solver registry, and the empty
+// algorithm name selects the "auto" policy: the batch.Runner per-instance
+// pipeline (heuristic race first, exact branch-and-bound when small,
+// fallback on timeout) for hypergraphs, and the cheapest suitable
+// registry solver (ExactUnit for unit instances, the expected greedy
+// otherwise) for bipartite graphs.
 package service
 
 import (
@@ -39,10 +41,10 @@ import (
 
 	"semimatch/internal/batch"
 	"semimatch/internal/bipartite"
-	"semimatch/internal/core"
 	"semimatch/internal/encode"
 	"semimatch/internal/hypergraph"
 	"semimatch/internal/registry"
+	"semimatch/internal/solve"
 )
 
 // Defaults for the zero Options value.
@@ -239,6 +241,14 @@ type request struct {
 	sol   *registry.Solver       // nil for the hypergraph auto policy
 	alg   string                 // algorithm label used in keys and results
 	fp    string                 // canonical fingerprint
+}
+
+// problem wraps the canonical instance as a solve.Problem for dispatch.
+func (req *request) problem() solve.Problem {
+	if req.g != nil {
+		return solve.Bipartite(req.g)
+	}
+	return solve.Hyper(req.h)
 }
 
 // Solve answers one request. instance must be a *semimatch
@@ -477,66 +487,56 @@ func (s *Service) admitAndSolve(ctx context.Context, req *request) (*Result, err
 	return res, nil
 }
 
-// dispatch runs one solve on the canonical instance.
+// dispatch runs one solve on the canonical instance, through the unified
+// solve API: the canonical form becomes a solve.Problem, and named and
+// auto requests alike are answered by a solve.Report.
 func (s *Service) dispatch(ctx context.Context, req *request) (*Result, error) {
 	start := time.Now()
 	res := &Result{Kind: req.kind, Fingerprint: req.fp, Algorithm: req.alg}
+	problem := req.problem()
 	switch {
-	case req.sol != nil && req.class == registry.SingleProc:
-		a, err := req.sol.SolveSingle(ctx, req.g, registry.Options{Workers: s.solverWorkers})
-		if err != nil {
-			if a == nil || !registry.IncumbentError(err) {
-				return nil, fmt.Errorf("service: %s: %w", req.alg, err)
-			}
-			res.Truncated = true
-		} else {
-			res.Optimal = req.sol.Optimal()
-		}
-		res.Assignment = []int32(a)
-		res.Loads = core.Loads(req.g, a)
 	case req.sol != nil:
-		a, err := req.sol.SolveHyper(ctx, req.h, registry.Options{Workers: s.solverWorkers})
+		rep, err := solve.RunOptions(ctx, problem, solve.Options{
+			Algorithm: req.sol.Name,
+			Workers:   s.solverWorkers,
+		})
 		if err != nil {
-			if a == nil || !registry.IncumbentError(err) {
-				return nil, fmt.Errorf("service: %s: %w", req.alg, err)
-			}
-			res.Truncated = true
-		} else {
-			res.Optimal = req.sol.Optimal()
+			return nil, fmt.Errorf("service: %s: %w", req.alg, err)
 		}
-		res.Assignment = []int32(a)
-		res.Loads = core.HyperLoads(req.h, a)
+		res.Optimal = rep.Status == solve.StatusOptimal
+		res.Truncated = rep.Status == solve.StatusTruncated
+		res.Assignment = rep.Assignment
+		res.Loads = rep.Loads
+		res.Makespan = rep.Makespan
 	default:
-		// The auto policy reuses the batch pipeline on a one-instance
-		// batch: portfolio first, exact branch-and-bound when small
+		// The auto policy reuses the batch pipeline on a one-problem
+		// batch: heuristic race first, exact branch-and-bound when small
 		// enough, best-so-far fallback when the deadline expires.
-		results, runErr := s.runner.Run(ctx, []*hypergraph.Hypergraph{req.h})
-		if len(results) != 1 {
-			// Run failed up front (e.g. Options.Batch names an unknown
-			// portfolio algorithm) and produced no per-instance results.
+		outs, runErr := s.runner.RunProblems(ctx, []solve.Problem{problem})
+		if len(outs) != 1 {
+			// RunProblems failed up front (e.g. Options.Batch names an
+			// unknown portfolio algorithm) and produced no per-problem
+			// results.
 			return nil, fmt.Errorf("service: auto solve: %w", runErr)
 		}
-		r := results[0]
-		if r.Assignment == nil {
-			if r.Err != nil {
-				return nil, fmt.Errorf("service: auto solve: %w", r.Err)
+		out := outs[0]
+		rep := out.Report
+		if rep == nil || rep.Assignment == nil {
+			if out.Err != nil {
+				return nil, fmt.Errorf("service: auto solve: %w", out.Err)
 			}
 			return nil, errors.New("service: auto solve produced no schedule")
 		}
-		res.Algorithm = "auto:" + r.Source
-		res.Assignment = []int32(r.Assignment)
-		res.Loads = core.HyperLoads(req.h, r.Assignment)
-		res.Optimal = r.Optimal
-		// A schedule finished under an expired deadline is the best the
+		res.Algorithm = "auto:" + batch.SourceLabel(rep)
+		res.Assignment = rep.Assignment
+		res.Loads = rep.Loads
+		res.Makespan = rep.Makespan
+		res.Optimal = rep.Status == solve.StatusOptimal
+		// A schedule a deadline or budget curtailed is the best that
 		// budget allowed, not necessarily the policy's full answer — but
 		// a schedule the exact stage already proved optimal is complete
 		// no matter when the deadline fired.
-		res.Truncated = r.Err != nil || (!r.Optimal && ctx.Err() != nil)
-	}
-	for _, l := range res.Loads {
-		if l > res.Makespan {
-			res.Makespan = l
-		}
+		res.Truncated = out.Err != nil || rep.Status == solve.StatusTruncated
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil

@@ -1,0 +1,479 @@
+package solve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"semimatch/internal/core"
+	"semimatch/internal/exact"
+	"semimatch/internal/loadvec"
+	"semimatch/internal/portfolio"
+	"semimatch/internal/refine"
+	"semimatch/internal/registry"
+)
+
+// Defaults of the auto policy's exact-attempt stage (shared with the
+// batch runner, which routes through RunOptions).
+const (
+	// DefaultExactTaskLimit is the largest instance (in tasks) that gets a
+	// branch-and-bound attempt when Options.ExactTaskLimit is zero.
+	DefaultExactTaskLimit = 16
+	// DefaultExactNodes is the auto policy's branch-and-bound node budget
+	// when Options.NodeBudget is zero — small enough to bound each attempt
+	// to tens of milliseconds.
+	DefaultExactNodes = 2_000_000
+)
+
+// Status classifies how trustworthy a Report's schedule is.
+type Status uint8
+
+const (
+	// StatusHeuristic is a valid schedule with no optimality proof; the
+	// solve ran to completion.
+	StatusHeuristic Status = iota
+	// StatusOptimal is a provably optimal schedule.
+	StatusOptimal
+	// StatusTruncated is a valid schedule from a solve a deadline, node
+	// budget or cancellation cut short — the best found so far, not
+	// provably the best possible.
+	StatusTruncated
+)
+
+// String returns the status label used in listings and JSON.
+func (s Status) String() string {
+	switch s {
+	case StatusHeuristic:
+		return "heuristic"
+	case StatusOptimal:
+		return "optimal"
+	case StatusTruncated:
+		return "truncated"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Report is the unified outcome of one Run, in the problem's own
+// encoding regardless of class.
+type Report struct {
+	// Class is the problem class that was solved.
+	Class registry.Class
+	// Solver is the canonical registry name of what produced the
+	// schedule: the named algorithm, the winning portfolio member, or the
+	// exact stage's solver.
+	Solver string
+	// Assignment maps each task to its processor (SINGLEPROC) or chosen
+	// hyperedge id (MULTIPROC).
+	Assignment []int32
+	// Loads is the per-processor load vector of Assignment.
+	Loads []int64
+	// Makespan is the maximum processor load.
+	Makespan int64
+	// LowerBound is the class's load-balance lower bound on the optimal
+	// makespan; Makespan == LowerBound certifies optimality even for a
+	// heuristic schedule.
+	LowerBound int64
+	// Status reports the schedule's optimality class.
+	Status Status
+	// Stats carries branch-and-bound search statistics when an exact
+	// solver ran (zero otherwise).
+	Stats exact.SearchStats
+	// Incumbents is the number of observations delivered to the
+	// registered Observer (0 without one).
+	Incumbents int
+	// Elapsed is the wall-clock time of the whole Run.
+	Elapsed time.Duration
+
+	// stageMakespan tracks the best makespan during policy staging;
+	// Makespan/Loads are recomputed from the final Assignment at the end
+	// of RunOptions.
+	stageMakespan int64
+}
+
+// Optimal reports a provably optimal schedule.
+func (r *Report) Optimal() bool { return r.Status == StatusOptimal }
+
+// Options is the resolved option set of one Run. Most callers use the
+// functional With* options; policy layers that need fine-grained control
+// (the batch runner) fill the struct directly and call RunOptions.
+type Options struct {
+	// Algorithm names one registry solver to run (any name or alias, in
+	// the problem's class). Empty selects the auto policy: a heuristic
+	// race first, then — when the instance is small enough — an exact
+	// branch-and-bound attempt that can prove optimality.
+	Algorithm string
+	// Portfolio restricts the auto policy's heuristic race; nil means the
+	// class's full default heuristic lineup. Ignored with Algorithm.
+	Portfolio []string
+	// Deadline bounds the whole Run, layered under ctx; 0 means none.
+	// When it expires the best schedule found so far is returned with
+	// StatusTruncated.
+	Deadline time.Duration
+	// Workers bounds solver-internal parallelism: the heuristic race's
+	// fan-out and, unless ExactWorkers overrides it, the parallel
+	// branch-and-bound pool. 0 means GOMAXPROCS.
+	Workers int
+	// ExactWorkers overrides Workers for the exact stage's internal pool
+	// — the batch runner sets it so nested parallelism stays at one busy
+	// goroutine per core. 0 defers to Workers.
+	ExactWorkers int
+	// NodeBudget caps branch-and-bound search nodes. 0 means the
+	// default: DefaultExactNodes for the auto policy's exact attempt, the
+	// engine default (20M) for a named exact algorithm.
+	NodeBudget int64
+	// ExactTaskLimit is the largest instance (in tasks) the auto policy
+	// gives an exact attempt; 0 means DefaultExactTaskLimit, negative
+	// disables the exact stage. Ignored with Algorithm.
+	ExactTaskLimit int
+	// Refine post-processes MULTIPROC schedules with local search (never
+	// worse). SINGLEPROC problems ignore it.
+	Refine bool
+	// Observer receives the incumbent trajectory; see Observer.
+	Observer Observer
+}
+
+// Option is one functional Run option.
+type Option func(*Options)
+
+// WithAlgorithm runs one named registry solver (name or alias) instead of
+// the auto policy.
+func WithAlgorithm(name string) Option { return func(o *Options) { o.Algorithm = name } }
+
+// WithDeadline bounds the whole Run; on expiry the best schedule found so
+// far is returned with StatusTruncated.
+func WithDeadline(d time.Duration) Option { return func(o *Options) { o.Deadline = d } }
+
+// WithWorkers bounds solver-internal parallelism (0 = GOMAXPROCS).
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithNodeBudget caps branch-and-bound search nodes.
+func WithNodeBudget(n int64) Option { return func(o *Options) { o.NodeBudget = n } }
+
+// WithRefine post-processes MULTIPROC schedules with local search.
+func WithRefine() Option { return func(o *Options) { o.Refine = true } }
+
+// WithPortfolio restricts the auto policy's heuristic race to the named
+// members (registry names or aliases, resolved in the problem's class).
+func WithPortfolio(algorithms ...string) Option {
+	return func(o *Options) { o.Portfolio = algorithms }
+}
+
+// WithObserver registers an incumbent observer; see Observer.
+func WithObserver(fn Observer) Option { return func(o *Options) { o.Observer = fn } }
+
+// WithExactLimit bounds the auto policy's exact-attempt stage to
+// instances of at most tasks tasks (negative disables the stage).
+func WithExactLimit(tasks int) Option { return func(o *Options) { o.ExactTaskLimit = tasks } }
+
+func (o Options) exactTaskLimit() int {
+	if o.ExactTaskLimit == 0 {
+		return DefaultExactTaskLimit
+	}
+	return o.ExactTaskLimit
+}
+
+func (o Options) exactNodes() int64 {
+	if o.NodeBudget <= 0 {
+		return DefaultExactNodes
+	}
+	return o.NodeBudget
+}
+
+func (o Options) exactWorkers() int {
+	if o.ExactWorkers > 0 {
+		return o.ExactWorkers
+	}
+	return o.Workers
+}
+
+// Run solves a Problem of either class and returns the unified Report.
+// With WithAlgorithm it runs exactly that registry solver; otherwise the
+// auto policy races the class's heuristic lineup and then, when the
+// instance is small enough, attempts an exact branch-and-bound proof.
+//
+// Run is an anytime entry point: a deadline (ctx or WithDeadline) or node
+// budget degrades the answer to the best schedule found so far
+// (StatusTruncated) rather than failing, and WithObserver streams the
+// incumbent trajectory while the solve is still running. Run returns an
+// error only when no schedule at all could be produced — with one
+// exception: an unexpected failure in the auto policy's exact stage
+// returns the heuristic-stage Report alongside the error, so callers that
+// degrade gracefully can keep the schedule.
+func Run(ctx context.Context, p Problem, opts ...Option) (*Report, error) {
+	var o Options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return RunOptions(ctx, p, o)
+}
+
+// RunOptions is Run with a resolved Options struct; see Run for the
+// contract.
+func RunOptions(ctx context.Context, p Problem, o Options) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if o.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Deadline)
+		defer cancel()
+	}
+	obs := newObsState(o.Observer, start)
+
+	var rep *Report
+	var err error
+	if o.Algorithm != "" {
+		rep, err = runNamed(ctx, p, o, obs)
+	} else {
+		rep, err = runAuto(ctx, p, o, obs)
+	}
+	if rep == nil {
+		return nil, err
+	}
+	rep.Class = p.Class()
+	rep.LowerBound = p.LowerBound()
+	rep.Makespan, rep.Loads = p.makespanLoads(rep.Assignment)
+	rep.Elapsed = time.Since(start)
+	obs.final(rep)
+	rep.Incumbents = obs.events()
+	return rep, err
+}
+
+// runNamed executes exactly one registry solver.
+func runNamed(ctx context.Context, p Problem, o Options, obs *obsState) (*Report, error) {
+	sol, err := registry.LookupClass(p.Class(), o.Algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("solve: %w", err)
+	}
+	rep := &Report{Solver: sol.Name}
+	ropts := registry.Options{Workers: o.Workers}
+	ropts.BnB.MaxNodes = o.NodeBudget
+	ropts.BnB.Stats = &rep.Stats
+	if obs.active() {
+		ropts.BnB.Observer = obs.exactFn(sol.Name)
+	}
+	a, err := sol.SolveInstance(ctx, p.instance(), ropts)
+	switch {
+	case err == nil:
+		if sol.Optimal() {
+			rep.Status = StatusOptimal
+		}
+	case a != nil && registry.IncumbentError(err):
+		// The search was cut short but kept its incumbent: degrade, don't
+		// discard.
+		rep.Status = StatusTruncated
+	default:
+		return nil, fmt.Errorf("solve: %s: %w", sol.Name, err)
+	}
+	if o.Refine && p.Class() == registry.MultiProc {
+		refined := refine.RefineCtx(ctx, p.h, core.HyperAssignment(a), refine.Options{}).Assignment
+		a = []int32(refined)
+	}
+	rep.Assignment = a
+	return rep, nil
+}
+
+// runAuto applies the class-generic per-instance policy: a heuristic race
+// first (always fast), then an exact attempt when the instance is small
+// enough, falling back to the best schedule found when a budget expires.
+func runAuto(ctx context.Context, p Problem, o Options, obs *obsState) (*Report, error) {
+	var rep *Report
+	var err error
+	if p.Class() == registry.MultiProc {
+		rep, err = runAutoHyper(ctx, p, o, obs)
+	} else {
+		rep, err = runAutoSingle(ctx, p, o, obs)
+	}
+	// An expired context means the policy did not run to completion —
+	// even when the stage it curtailed was skipped outright (e.g. the
+	// deadline fired between the heuristic race and the exact attempt).
+	// Without this, such results would read as complete and get cached.
+	if rep != nil && rep.Status != StatusOptimal && ctx.Err() != nil {
+		rep.Status = StatusTruncated
+	}
+	return rep, err
+}
+
+// adopt replaces the staged schedule.
+func (r *Report) adopt(solver string, a []int32, m int64) {
+	r.Assignment, r.Solver, r.stageMakespan = a, solver, m
+}
+
+// mergeExact folds one exact-stage outcome into the heuristic-stage
+// report under the shared policy rules: a proven optimum upgrades the
+// status (keeping the heuristic schedule on ties, so a refined load
+// vector survives); a truncated search's incumbent is adopted only when
+// it strictly improves; anything else is surfaced to the caller.
+func mergeExact(rep *Report, solver string, a []int32, m int64, exErr error, ctxErr error) error {
+	switch {
+	case exErr == nil:
+		if m < rep.stageMakespan {
+			rep.adopt(solver, a, m)
+		}
+		rep.Status = StatusOptimal
+	case a != nil && registry.IncumbentError(exErr):
+		if m < rep.stageMakespan {
+			rep.adopt(solver, a, m)
+			rep.Status = StatusTruncated
+		} else if ctxErr != nil {
+			rep.Status = StatusTruncated
+		}
+	default:
+		// Structural errors (no processors, isolated task) would have
+		// failed the heuristic stage already; surface anything unexpected
+		// alongside the stage-1 report.
+		return exErr
+	}
+	return nil
+}
+
+// runAutoHyper is the MULTIPROC auto policy: portfolio race, then exact.
+func runAutoHyper(ctx context.Context, p Problem, o Options, obs *obsState) (*Report, error) {
+	popts := portfolio.Options{
+		Algorithms: o.Portfolio,
+		Refine:     o.Refine,
+		Workers:    o.Workers,
+	}
+	if obs.active() {
+		popts.Observer = func(member string, m int64, a core.HyperAssignment) {
+			obs.emit(member, m, []int32(a), false)
+		}
+	}
+	pres, err := portfolio.SolveCtx(ctx, p.h, popts)
+	if err != nil {
+		return nil, fmt.Errorf("solve: %w", err)
+	}
+	rep := &Report{
+		Solver:        pres.Winner,
+		Assignment:    []int32(pres.Assignment),
+		stageMakespan: pres.Makespan,
+	}
+	if pres.Incomplete {
+		rep.Status = StatusTruncated
+	}
+
+	lim := o.exactTaskLimit()
+	var exSol *registry.Solver
+	if exacts := registry.Find(registry.MultiProc, registry.Exact); len(exacts) > 0 {
+		exSol = registry.Preferred(exacts[0])
+	}
+	if exSol == nil || lim <= 0 || p.h.NTasks > lim || ctx.Err() != nil {
+		return rep, nil
+	}
+	ropts := registry.Options{
+		BnB:     exact.Options{MaxNodes: o.exactNodes(), Stats: &rep.Stats},
+		Workers: o.exactWorkers(),
+	}
+	if obs.active() {
+		ropts.BnB.Observer = obs.exactFn(exSol.Name)
+	}
+	a, exErr := exSol.SolveHyper(ctx, p.h, ropts)
+	var m int64
+	if a != nil {
+		m = core.HyperMakespan(p.h, a)
+	}
+	if err := mergeExact(rep, exSol.Name, []int32(a), m, exErr, ctx.Err()); err != nil {
+		return rep, fmt.Errorf("solve: %s: %w", exSol.Name, err)
+	}
+	return rep, nil
+}
+
+// runAutoSingle is the SINGLEPROC auto policy — the bipartite counterpart
+// of the hypergraph pipeline, and the stage that makes SINGLEPROC
+// batching a first-class workload: a sequential race over the class's
+// heuristic lineup (judged by full sorted load vector, ties by lineup
+// order, so results are deterministic), then the polynomial ExactUnit
+// proof for unit instances or a parallel branch-and-bound attempt for
+// small weighted ones.
+func runAutoSingle(ctx context.Context, p Problem, o Options, obs *obsState) (*Report, error) {
+	g := p.Graph()
+	defaults := registry.Names(registry.Heuristics(registry.SingleProc))
+	names, solvers, err := registry.ResolveClass(registry.SingleProc, o.Portfolio, defaults)
+	if err != nil {
+		return nil, fmt.Errorf("solve: %w", err)
+	}
+
+	rep := &Report{}
+	var bestVec []int64
+	found := false
+	var firstErr error
+	truncated := false
+	for i, sol := range solvers {
+		if ctx.Err() != nil {
+			truncated = found
+			break
+		}
+		a, err := sol.SolveSingle(ctx, g, registry.Options{Workers: 1})
+		if err != nil && (a == nil || !registry.IncumbentError(err)) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("solve: %s: %w", names[i], err)
+			}
+			continue
+		}
+		vec := loadvec.SortedDesc(core.Loads(g, a))
+		if !found || loadvec.CompareVec(vec, bestVec) < 0 {
+			found = true
+			rep.Assignment, rep.Solver, bestVec = []int32(a), names[i], vec
+			rep.stageMakespan = 0
+			if len(vec) > 0 {
+				rep.stageMakespan = vec[0]
+			}
+			obs.emit(names[i], rep.stageMakespan, rep.Assignment, false)
+		}
+	}
+	if !found {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("solve: no heuristic finished: %w", ctx.Err())
+	}
+	if truncated {
+		rep.Status = StatusTruncated
+		return rep, nil
+	}
+
+	// Exact stage, capability-selected: the polynomial matching-based
+	// solver whenever unit weights allow it (any size), else the
+	// exponential branch-and-bound (parallel counterpart preferred) for
+	// small instances only.
+	lim := o.exactTaskLimit()
+	var exSol *registry.Solver
+	exacts := registry.Find(registry.SingleProc, registry.Exact)
+	switch {
+	case lim <= 0 || ctx.Err() != nil:
+	case g.Unit():
+		if len(exacts) > 0 {
+			exSol = exacts[0] // cheapest cost class first: ExactUnit
+		}
+	case g.NLeft <= lim:
+		for _, s := range exacts {
+			if s.Cost == registry.CostExponential {
+				exSol = registry.Preferred(s)
+				break
+			}
+		}
+	}
+	if exSol == nil {
+		return rep, nil
+	}
+	ropts := registry.Options{
+		BnB:     exact.Options{MaxNodes: o.exactNodes(), Stats: &rep.Stats},
+		Workers: o.exactWorkers(),
+	}
+	if obs.active() {
+		ropts.BnB.Observer = obs.exactFn(exSol.Name)
+	}
+	a, exErr := exSol.SolveSingle(ctx, g, ropts)
+	var m int64
+	if a != nil {
+		m = core.Makespan(g, a)
+	}
+	if err := mergeExact(rep, exSol.Name, []int32(a), m, exErr, ctx.Err()); err != nil {
+		return rep, fmt.Errorf("solve: %s: %w", exSol.Name, err)
+	}
+	return rep, nil
+}

@@ -19,7 +19,91 @@ import (
 	"semimatch/internal/registry"
 	"semimatch/internal/sched"
 	"semimatch/internal/service"
+	"semimatch/internal/solve"
 )
+
+// --- The unified solve API: Problem → Run → Report ---
+
+// Problem is one instance of either problem class — a sum over *Graph
+// (SINGLEPROC) and *Hypergraph (MULTIPROC) carrying its class and
+// canonical fingerprint. Build one with GraphProblem, HypergraphProblem
+// or NewProblem; the zero value is empty and solves to an error.
+type Problem = solve.Problem
+
+// GraphProblem wraps a SINGLEPROC instance as a Problem.
+func GraphProblem(g *Graph) Problem { return solve.Bipartite(g) }
+
+// HypergraphProblem wraps a MULTIPROC instance as a Problem.
+func HypergraphProblem(h *Hypergraph) Problem { return solve.Hyper(h) }
+
+// NewProblem wraps any supported instance type (*Graph, *Hypergraph, or a
+// Problem) as a Problem.
+func NewProblem(instance any) (Problem, error) { return solve.NewProblem(instance) }
+
+// Report is the unified outcome of one Run: the schedule in the problem's
+// own encoding, its makespan and lower bound, the optimality status, the
+// producing solver's name, search statistics and wall time.
+type Report = solve.Report
+
+// SolveStatus classifies how trustworthy a Report's schedule is.
+type SolveStatus = solve.Status
+
+// SolveStatus values.
+const (
+	StatusHeuristic = solve.StatusHeuristic
+	StatusOptimal   = solve.StatusOptimal
+	StatusTruncated = solve.StatusTruncated
+)
+
+// Option is one functional Run option.
+type Option = solve.Option
+
+// Run options.
+var (
+	// WithAlgorithm runs one named registry solver (name or alias)
+	// instead of the auto policy.
+	WithAlgorithm = solve.WithAlgorithm
+	// WithDeadline bounds the whole Run; on expiry the best schedule
+	// found so far is returned with StatusTruncated.
+	WithDeadline = solve.WithDeadline
+	// WithWorkers bounds solver-internal parallelism (0 = GOMAXPROCS).
+	WithWorkers = solve.WithWorkers
+	// WithNodeBudget caps branch-and-bound search nodes.
+	WithNodeBudget = solve.WithNodeBudget
+	// WithRefine post-processes MULTIPROC schedules with local search.
+	WithRefine = solve.WithRefine
+	// WithPortfolio restricts the auto policy's heuristic race to the
+	// named members.
+	WithPortfolio = solve.WithPortfolio
+	// WithObserver registers an incumbent observer on the run.
+	WithObserver = solve.WithObserver
+	// WithExactLimit bounds the auto policy's exact-attempt stage to
+	// instances of at most that many tasks (negative disables it).
+	WithExactLimit = solve.WithExactLimit
+)
+
+// Incumbent is one observation of a run's best-schedule-so-far; see
+// Observer.
+type Incumbent = solve.Incumbent
+
+// Observer receives the incumbent trajectory of a Run registered with
+// WithObserver: the makespan-decreasing sequence of best schedules found
+// so far, closed by one Final observation matching the returned Report.
+// Calls are serialized, polled at solver checkpoints (never per search
+// node), and panic-isolated.
+type Observer = solve.Observer
+
+// Run solves a Problem of either class — the single class-generic entry
+// point every dispatch layer (batch, service, CLIs) routes through. With
+// WithAlgorithm it runs exactly that registry solver; otherwise the auto
+// policy races the class's heuristic lineup and then, when the instance
+// is small enough, attempts an exact branch-and-bound proof. Deadlines
+// and node budgets degrade the answer to the best schedule found so far
+// (StatusTruncated) instead of failing, and WithObserver watches bounds
+// tighten during a long solve.
+func Run(ctx context.Context, p Problem, opts ...Option) (*Report, error) {
+	return solve.Run(ctx, p, opts...)
+}
 
 // --- Solver registry (discovery) ---
 
@@ -270,27 +354,46 @@ var ErrCancelled = exact.ErrCancelled
 
 // --- Batch solving ---
 
-// BatchOptions configures SolveBatch.
+// BatchOptions configures SolveProblems and SolveBatch.
 type BatchOptions = batch.Options
 
 // BatchResult is the per-instance outcome of SolveBatch.
+//
+// Deprecated: use SolveProblems and BatchOutcome, which cover both
+// problem classes and carry the full Report.
 type BatchResult = batch.Result
 
-// BatchRunner is a reusable batch solver (SolveBatch creates one per
-// call).
+// BatchOutcome is the per-problem outcome of SolveProblems: the unified
+// Report, or that problem's failure.
+type BatchOutcome = batch.Outcome
+
+// BatchRunner is a reusable batch solver (SolveProblems and SolveBatch
+// create one per call).
 type BatchRunner = batch.Runner
 
 // NewBatchRunner returns a reusable batch solver.
 func NewBatchRunner(opts BatchOptions) *BatchRunner { return batch.New(opts) }
 
-// SolveBatch solves many MULTIPROC instances on a worker pool spanning
-// GOMAXPROCS cores. Each instance runs the portfolio first, then — when
-// small enough — an exact branch-and-bound attempt, falling back to the
-// best schedule found so far on timeout. Failures are isolated per
-// instance (Result.Err); makespans are deterministic in the worker count
-// (schedule identity may vary when the parallel exact stage finds
-// co-optimal schedules). Cancelling ctx stops the batch promptly,
-// returning partial results alongside the context's error.
+// SolveProblems solves many Problems — SINGLEPROC and MULTIPROC freely
+// mixed — on a worker pool spanning GOMAXPROCS cores. Each problem runs
+// Run's auto policy: a heuristic race first, then — when the instance
+// allows it — an exact attempt (ExactUnit or parallel branch-and-bound),
+// falling back to the best schedule found so far on timeout. Failures are
+// isolated per problem (BatchOutcome.Err); makespans are deterministic in
+// the worker count (schedule identity may vary when the parallel exact
+// stage finds co-optimal schedules). Cancelling ctx stops the batch
+// promptly, returning partial results alongside the context's error.
+func SolveProblems(ctx context.Context, problems []Problem, opts BatchOptions) ([]BatchOutcome, error) {
+	return batch.New(opts).RunProblems(ctx, problems)
+}
+
+// SolveBatch solves many MULTIPROC instances; it is SolveProblems
+// restricted to hypergraphs, kept as a thin wrapper for callers of the
+// pre-unification API.
+//
+// Deprecated: SolveBatch accepts only hypergraphs, so SINGLEPROC
+// workloads cannot use the batch pipeline through it. Use SolveProblems
+// with []Problem, which batches both encodings.
 func SolveBatch(ctx context.Context, instances []*Hypergraph, opts BatchOptions) ([]BatchResult, error) {
 	return batch.New(opts).Run(ctx, instances)
 }
