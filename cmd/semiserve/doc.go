@@ -1,15 +1,20 @@
 // Command semiserve is the solving-as-a-service HTTP front end: a
 // long-running server over internal/service that canonicalizes and
 // fingerprints every posted instance, answers repeats (including
-// isomorphic reorderings) from a sharded LRU result cache, deduplicates
-// concurrent identical requests into one solve, and sheds load with 429
-// once its admission queue is full.
+// isomorphic reorderings) from a sharded LRU result cache backed by an
+// optional durable disk tier, deduplicates concurrent identical requests
+// into one solve, and sheds load with 429 once its admission queue is
+// full. Every complete result carries a verifiable certificate
+// (internal/cert); the service re-verifies certificates before caching
+// and before serving from disk, so a restart warms the cache from disk
+// without ever trusting stale or tampered files.
 //
 // Usage:
 //
 //	semiserve                          # listen on :8080
 //	semiserve -addr 127.0.0.1:0        # free port; scrape it from stdout
 //	semiserve -cache 65536 -queue 256  # bigger deployment
+//	semiserve -cache-dir /var/cache/semimatch  # durable cache tier
 //	semiserve -deadline 2s             # default per-request budget
 //	semiserve -http-inflight 32 -max-body 4194304  # tighter memory bounds
 //	semiserve -refine                  # local search on auto-policy schedules
@@ -45,10 +50,19 @@
 //	  "fingerprint": "4f1c…",          // canonical content hash (SHA-256)
 //	  "algorithm": "auto:EVG",         // solver, or auto:<winning source>
 //	  "makespan": 42,
+//	  "lower_bound": 40,               // strongest proven lower bound;
+//	                                   // makespan − lower_bound is the gap
 //	  "status": "heuristic",           // optimal | heuristic | truncated
 //	  "optimal": false,                // provably optimal
 //	  "truncated": false,              // deadline/budget-truncated incumbent
-//	  "cached": true,                  // served from the result cache
+//	  "trust": "verified",             // certificate trust tier the server
+//	                                   // established: verified | attested |
+//	                                   // heuristic
+//	  "witness": "average-load",       // certificate's optimality argument:
+//	                                   // average-load | max-element |
+//	                                   // exhaustive | none (omitted when no
+//	                                   // certificate was issued)
+//	  "cached": true,                  // served from a cache tier
 //	  "elapsed_s": 0.0031,             // solve wall-clock (≈0 for hits)
 //	  "assignment": [0, 2, 5],         // task → processor (bipartite) or
 //	                                   // task → hyperedge id (hypergraph,
@@ -61,8 +75,19 @@
 // Results are cached by (fingerprint, algorithm, budget class), so two
 // isomorphic instances — the same hypergraph with configurations or
 // processors listed in a different order — share one cache entry; the
-// assignment is translated to each requester's own numbering before it
-// is returned. Truncated results are never cached.
+// assignment (and its certificate) is translated to each requester's own
+// numbering before it is returned. Truncated results, and results whose
+// certificate fails the server's independent verification, are never
+// cached.
+//
+// With -cache-dir the cache gains a durable tier: verified results are
+// additionally persisted as content-addressed entry files (atomic
+// tmp+rename writes, versioned header, payload checksum), and a cache
+// miss consults the directory before solving — so a restarted server
+// answers previously solved instances, including isomorphic
+// restatements, from disk. Entries are re-verified on load; a corrupt,
+// truncated, stale-version or tampered file is skipped and reaped, never
+// served.
 //
 // Errors are {"error": "..."} with status 400 (malformed instance,
 // unknown algorithm, bad deadline), 429 (admission queue full, or more
@@ -84,8 +109,12 @@
 //
 // A JSON snapshot of the serving counters: requests, cache_hits,
 // cache_misses, cache_evictions, cache_entries, coalesced (single-flight
-// deduplicated requests), solves, solve_errors, truncated, overloaded
-// (429s), in_flight, queue_depth, workers, uptime_s.
+// deduplicated requests), solves, solve_errors, truncated,
+// verify_failures (results whose certificate failed independent
+// verification), overloaded (429s), in_flight, queue_depth, workers,
+// uptime_s — plus, when -cache-dir is set, the disk tier's disk_hits,
+// disk_misses, disk_writes, disk_write_errors and disk_reaped (garbled
+// or unverifiable entries removed on load).
 //
 // # GET /healthz
 //

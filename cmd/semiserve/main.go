@@ -15,6 +15,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result-cache capacity in entries (negative disables)")
+	cacheDir := flag.String("cache-dir", "", "directory for the durable cache tier: verified results persist across restarts (empty disables)")
 	queueDepth := flag.Int("queue", service.DefaultQueueDepth, "max solves in flight before requests get 429")
 	workers := flag.Int("workers", 0, "max concurrently running solves (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 10*time.Second, "default per-request deadline when none is given (0 = none)")
@@ -28,8 +29,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cacheDir != "" {
+		// Fail fast on an unusable directory: the service itself degrades
+		// gracefully, but a server explicitly asked to persist should not
+		// come up silently unable to.
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "semiserve: -cache-dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	svc := service.New(service.Options{
 		CacheEntries:    *cacheEntries,
+		CacheDir:        *cacheDir,
 		QueueDepth:      *queueDepth,
 		Workers:         *workers,
 		DefaultDeadline: *deadline,

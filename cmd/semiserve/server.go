@@ -69,13 +69,23 @@ type solveResponse struct {
 	Fingerprint string `json:"fingerprint"`
 	Algorithm   string `json:"algorithm"`
 	Makespan    int64  `json:"makespan"`
+	// LowerBound is the strongest proven lower bound on the optimal
+	// makespan; makespan − lower_bound is the optimality gap the client
+	// can see without trusting the status field.
+	LowerBound int64 `json:"lower_bound"`
 	// Status is the unified solve API's optimality class:
 	// "optimal", "heuristic" or "truncated".
-	Status    string  `json:"status"`
-	Optimal   bool    `json:"optimal"`
-	Truncated bool    `json:"truncated"`
-	Cached    bool    `json:"cached"`
-	ElapsedS  float64 `json:"elapsed_s"`
+	Status    string `json:"status"`
+	Optimal   bool   `json:"optimal"`
+	Truncated bool   `json:"truncated"`
+	// Trust is the certificate trust tier the service established by
+	// independent verification: "verified", "attested" or "heuristic".
+	Trust string `json:"trust"`
+	// Witness names the optimality argument of the result's certificate:
+	// "average-load", "max-element", "exhaustive" or "none".
+	Witness  string  `json:"witness,omitempty"`
+	Cached   bool    `json:"cached"`
+	ElapsedS float64 `json:"elapsed_s"`
 	// Assignment maps task → processor (bipartite) or task → hyperedge id
 	// in the posted instance's task-grouped numbering (hypergraph).
 	Assignment []int32 `json:"assignment"`
@@ -163,13 +173,18 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Fingerprint: res.Fingerprint,
 		Algorithm:   res.Algorithm,
 		Makespan:    res.Makespan,
+		LowerBound:  res.LowerBound,
 		Status:      status.String(),
 		Optimal:     res.Optimal,
 		Truncated:   res.Truncated,
+		Trust:       res.Trust.String(),
 		Cached:      res.Cached,
 		ElapsedS:    res.Elapsed.Seconds(),
 		Assignment:  res.Assignment,
 		Loads:       res.Loads,
+	}
+	if res.Certificate != nil {
+		resp.Witness = res.Certificate.Witness.Kind.String()
 	}
 	if fromJSON {
 		// For the named-task JSON form, translate hyperedge ids back to

@@ -362,3 +362,74 @@ func TestHealthz(t *testing.T) {
 		}
 	}
 }
+
+// TestSolveCertificateFields: the response carries the proof-carrying
+// result surface — lower bound, trust tier and optimality witness — and
+// an optimal auto solve verifies above the heuristic tier.
+func TestSolveCertificateFields(t *testing.T) {
+	ts, _ := startServer(t, service.Options{})
+	code, r, raw := postSolve(t, ts.URL+"/solve", tinyHyper)
+	if code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, raw)
+	}
+	if !r.Optimal || r.Makespan != 5 {
+		t.Fatalf("auto solve: %+v", r)
+	}
+	if r.LowerBound != r.Makespan {
+		t.Fatalf("optimal result lower_bound %d ≠ makespan %d", r.LowerBound, r.Makespan)
+	}
+	if r.Trust != "verified" && r.Trust != "attested" {
+		t.Fatalf("optimal result trust %q, want a verified tier", r.Trust)
+	}
+	if r.Witness == "" || r.Witness == "none" {
+		t.Fatalf("optimal result witness %q, want an optimality witness", r.Witness)
+	}
+	// The raw body exposes the documented field names.
+	var fields map[string]any
+	if err := json.Unmarshal([]byte(raw), &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"lower_bound", "trust", "witness"} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("response missing %q: %s", key, raw)
+		}
+	}
+}
+
+// TestSolveDiskRestart: with -cache-dir, a result solved by one server
+// process is served as a cache hit by a freshly started one — even for an
+// isomorphic restatement of the instance — straight from the disk tier.
+func TestSolveDiskRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts1, _ := startServer(t, service.Options{CacheDir: dir})
+	code, r1, raw := postSolve(t, ts1.URL+"/solve", tinyHyper)
+	if code != http.StatusOK {
+		t.Fatalf("first solve: %d %s", code, raw)
+	}
+	if r1.Cached || !r1.Optimal {
+		t.Fatalf("first solve: %+v", r1)
+	}
+	if st := getStats(t, ts1.URL); st.DiskWrites != 1 {
+		t.Fatalf("first server did not persist: %+v", st)
+	}
+	ts1.Close()
+
+	ts2, _ := startServer(t, service.Options{CacheDir: dir})
+	code, r2, raw := postSolve(t, ts2.URL+"/solve", tinyHyperIso)
+	if code != http.StatusOK {
+		t.Fatalf("restart solve: %d %s", code, raw)
+	}
+	if !r2.Cached {
+		t.Fatalf("restarted server re-solved: %+v", r2)
+	}
+	if r2.Makespan != r1.Makespan || r2.Fingerprint != r1.Fingerprint || !r2.Optimal {
+		t.Fatalf("disk-served result disagrees: %+v vs %+v", r1, r2)
+	}
+	if r2.Trust != "verified" && r2.Trust != "attested" {
+		t.Fatalf("disk-served result trust %q", r2.Trust)
+	}
+	st := getStats(t, ts2.URL)
+	if st.DiskHits != 1 || st.Solves != 0 {
+		t.Fatalf("restart was not a disk hit: %+v", st)
+	}
+}

@@ -12,11 +12,14 @@
 //	semisolve instance.txt             # auto policy
 //	semisolve -alg evg instance.txt
 //	semisolve -alg bnb-par -progress hard.txt   # watch incumbents tighten
+//	semisolve -verify instance.txt     # re-check the result's certificate
+//	semisolve -fingerprint instance.txt   # canonical fingerprint, no solve
 package main
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +37,8 @@ func main() {
 	showLoads := flag.Bool("show-loads", false, "print the per-processor loads")
 	doRefine := flag.Bool("refine", false, "post-process hypergraph schedules with local search")
 	progress := flag.Bool("progress", false, "print incumbent improvements to stderr while the solve runs")
+	doVerify := flag.Bool("verify", false, "independently verify the result's certificate and print the trust tier")
+	fingerprint := flag.Bool("fingerprint", false, "print the instance's canonical fingerprint and exit without solving")
 	flag.Parse()
 	if *list {
 		if *jsonOut {
@@ -46,7 +51,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: semisolve [-alg name] [-progress] [-show-loads] [-list-algorithms] <instance-file>")
+		fmt.Fprintln(os.Stderr, "usage: semisolve [-alg name] [-progress] [-verify] [-fingerprint] [-show-loads] [-list-algorithms] <instance-file>")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
@@ -56,6 +61,14 @@ func main() {
 	problem, err := readProblem(data)
 	if err != nil {
 		fail(err)
+	}
+	if *fingerprint {
+		fp, err := problem.Fingerprint()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(fp)
+		return
 	}
 
 	var opts []solve.Option
@@ -76,8 +89,16 @@ func main() {
 		}))
 	}
 
+	if *doVerify {
+		opts = append(opts, solve.WithVerify())
+	}
+
 	rep, err := solve.Run(context.Background(), problem, opts...)
-	if err != nil {
+	verifyErr := err
+	if err != nil && !(rep != nil && errors.Is(err, solve.ErrVerifyFailed)) {
+		// A verification failure still carries the (downgraded) report;
+		// print it below and exit nonzero at the end. Anything else is
+		// fatal as before.
 		fail(err)
 	}
 	if err := validate(problem, rep.Assignment); err != nil {
@@ -88,10 +109,21 @@ func main() {
 	fmt.Printf("algorithm: %s (%.3fs)\n", rep.Solver, rep.Elapsed.Seconds())
 	fmt.Printf("makespan: %d (%s), lower bound: %d, ratio: %.3f\n",
 		rep.Makespan, rep.Status, rep.LowerBound, ratio(rep.Makespan, rep.LowerBound))
+	if *doVerify {
+		if verifyErr != nil {
+			fmt.Printf("certificate: REJECTED: %v\n", verifyErr)
+		} else if c := rep.Certificate; c != nil {
+			fmt.Printf("certificate: %s (witness: %s, fingerprint %.12s…)\n",
+				rep.Trust, c.Witness.Kind, c.Fingerprint)
+		}
+	}
 	if *showLoads {
 		for p, l := range rep.Loads {
 			fmt.Printf("P%-5d %d\n", p, l)
 		}
+	}
+	if verifyErr != nil {
+		os.Exit(1)
 	}
 }
 

@@ -327,6 +327,10 @@ func TestCompatSymbolLedger(t *testing.T) {
 		_ semimatch.ServiceOptions   //nolint
 		_ semimatch.ServiceResult    //nolint
 		_ semimatch.ServiceStats     //nolint
+		_ semimatch.Certificate      //nolint
+		_ semimatch.CertWitness      //nolint
+		_ semimatch.WitnessKind      //nolint
+		_ semimatch.TrustTier        //nolint
 	)
 	var _ = []any{
 		semimatch.Solvers, semimatch.LookupSolver, semimatch.LookupClassSolver,
@@ -347,10 +351,12 @@ func TestCompatSymbolLedger(t *testing.T) {
 		semimatch.Fig1, semimatch.Chain, semimatch.ChainPlus, semimatch.ExpectedTrap,
 		semimatch.NewInstance, semimatch.Solve, semimatch.SolveByName,
 		semimatch.Fingerprint, semimatch.NewService,
+		semimatch.Verify, semimatch.CertBounds, semimatch.WithVerify,
 		semimatch.WriteGraph, semimatch.ReadGraph,
 		semimatch.WriteHypergraph, semimatch.ReadHypergraph,
 		semimatch.ErrLimit, semimatch.ErrCancelled,
 		semimatch.ErrServiceOverloaded, semimatch.ErrUnknownAlgorithm,
+		semimatch.ErrVerifyFailed,
 	}
 	// Constants of the pre-redesign surface.
 	_ = []any{
@@ -362,6 +368,51 @@ func TestCompatSymbolLedger(t *testing.T) {
 		semimatch.HiLo, semimatch.FewgManyg, semimatch.Unit, semimatch.Related, semimatch.Random,
 		semimatch.SGH, semimatch.EGH, semimatch.VGH,
 		semimatch.ExpectedVectorGreedy, semimatch.ExactSchedule,
+		semimatch.WitnessNone, semimatch.WitnessAverageLoad,
+		semimatch.WitnessMaxElement, semimatch.WitnessExhaustive,
+		semimatch.TierHeuristic, semimatch.TierAttested, semimatch.TierVerified,
 	}
 	_ = time.Second // keep the import for future timing assertions
+}
+
+// TestCompatCertificates: the proof-carrying surface exposed at the
+// root — every Run report carries a certificate Verify independently
+// accepts, WithVerify grades the trust tier, and a forged certificate
+// is rejected, never believed.
+func TestCompatCertificates(t *testing.T) {
+	h := seededHyper(t, 23, 9)
+	rep, err := semimatch.Run(context.Background(), semimatch.HypergraphProblem(h),
+		semimatch.WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Certificate
+	if c == nil {
+		t.Fatal("Run report carries no certificate")
+	}
+	tier, err := semimatch.Verify(h, c)
+	if err != nil {
+		t.Fatalf("certificate rejected: %v", err)
+	}
+	if tier != rep.Trust {
+		t.Fatalf("Verify tier %s, report trust %s", tier, rep.Trust)
+	}
+	if rep.Status == semimatch.StatusOptimal {
+		if c.Witness.Kind == semimatch.WitnessNone || tier < semimatch.TierAttested {
+			t.Fatalf("optimal report: witness %s, tier %s", c.Witness.Kind, tier)
+		}
+	}
+	avg, maxElem, err := semimatch.CertBounds(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg > rep.Makespan || maxElem > rep.Makespan {
+		t.Fatalf("class bounds (%d, %d) exceed makespan %d", avg, maxElem, rep.Makespan)
+	}
+
+	forged := *c
+	forged.Makespan--
+	if _, err := semimatch.Verify(h, &forged); err == nil {
+		t.Fatal("forged certificate accepted")
+	}
 }

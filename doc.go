@@ -123,6 +123,33 @@
 // Truncated set (and are kept out of the cache). cmd/semiserve wraps a
 // Service in an HTTP server: POST /solve, GET /algorithms, GET /stats.
 //
+// # Proof-carrying results: certificates
+//
+// Every complete Run report carries a Certificate: the instance's
+// canonical fingerprint, the schedule, the claimed makespan and lower
+// bound, and an optimality witness naming the argument that closes the
+// gap (WitnessAverageLoad, WitnessMaxElement, or WitnessExhaustive for
+// a finished branch-and-bound; WitnessNone for heuristic schedules).
+// Verify re-derives everything from the instance alone and grades the
+// claim into a TrustTier — TierVerified when the optimality argument is
+// re-proven from first principles, TierAttested when feasibility and
+// bounds check out but optimality rests on the search's exhaustion
+// claim, TierHeuristic otherwise. A certificate that lies is rejected
+// with an error, never silently downgraded:
+//
+//	rep, err := semimatch.Run(ctx, p, semimatch.WithVerify())
+//	// rep.Certificate, rep.Trust; a failed verification strips
+//	// StatusOptimal and reports ErrVerifyFailed alongside the report.
+//
+//	tier, err := semimatch.Verify(h, rep.Certificate) // independent check
+//
+// The Service builds its cache integrity on this contract: results must
+// verify before entering any cache tier, and ServiceOptions.CacheDir
+// adds a durable disk tier whose entries are re-verified on load — so a
+// restarted service (or another replica sharing the directory) serves
+// only answers it can prove, even for isomorphic restatements of an
+// instance.
+//
 // See examples/ for runnable programs and cmd/semibench for the
 // experiment harness.
 package semimatch

@@ -20,6 +20,7 @@ import (
 
 	"semimatch/internal/adversarial"
 	"semimatch/internal/bipartite"
+	"semimatch/internal/cert"
 	"semimatch/internal/core"
 	"semimatch/internal/hypergraph"
 )
@@ -144,6 +145,36 @@ type SearchStats struct {
 	// Steals counts subproblems a worker took from another worker's deque.
 	// Zero for the sequential solvers.
 	Steals int64
+	// Bound is the strongest instance-level lower bound the search derived
+	// at the root: max(average-load, max-element). Valid whether or not
+	// the search completed.
+	Bound int64
+	// Witness names the optimality argument for the returned schedule:
+	// which root bound closed the gap, WitnessExhaustive when the tree was
+	// searched to completion without a bound meeting the makespan, or
+	// WitnessNone when the search was truncated (budget or cancellation).
+	Witness cert.WitnessKind
+}
+
+// witnessFor grades a finished search: bound is max(avg, maxElem), and the
+// witness is the cheapest argument that proves the returned makespan
+// optimal — a root bound that equals it, else exhaustion (only if the tree
+// was fully searched).
+func witnessFor(complete bool, avg, maxElem, makespan int64) (int64, cert.WitnessKind) {
+	bound := avg
+	if maxElem > bound {
+		bound = maxElem
+	}
+	switch {
+	case !complete:
+		return bound, cert.WitnessNone
+	case makespan == avg:
+		return bound, cert.WitnessAverageLoad
+	case makespan == maxElem:
+		return bound, cert.WitnessMaxElement
+	default:
+		return bound, cert.WitnessExhaustive
+	}
 }
 
 func (o Options) maxNodes() int64 {
@@ -192,8 +223,10 @@ func SolveSingleProcCtx(ctx context.Context, g *bipartite.Graph, opts Options) (
 	}
 	sort.SliceStable(order, func(i, j int) bool { return g.Degree(order[i]) < g.Degree(order[j]) })
 
-	// minCost[t] = cheapest edge weight of t; suffix sums bound remaining work.
+	// minCost[t] = cheapest edge weight of t; suffix sums bound remaining
+	// work, and the max of the minima is the max-element root bound.
 	suffix := make([]int64, n+1)
+	var maxElem int64
 	for i := n - 1; i >= 0; i-- {
 		t := order[i]
 		w := g.Weights(t)
@@ -207,6 +240,9 @@ func SolveSingleProcCtx(ctx context.Context, g *bipartite.Graph, opts Options) (
 			}
 		}
 		suffix[i] = suffix[i+1] + best
+		if best > maxElem {
+			maxElem = best
+		}
 	}
 
 	// Incumbent from sorted-greedy.
@@ -287,7 +323,8 @@ func SolveSingleProcCtx(ctx context.Context, g *bipartite.Graph, opts Options) (
 	rec(0, 0)
 	notify() // flush the final incumbent to the observer
 	if opts.Stats != nil {
-		*opts.Stats = SearchStats{Nodes: st.expanded, Workers: 1}
+		bound, wit := witnessFor(!st.stopped, (suffix[0]+int64(p)-1)/int64(p), maxElem, best)
+		*opts.Stats = SearchStats{Nodes: st.expanded, Workers: 1, Bound: bound, Witness: wit}
 	}
 	return bestA, best, st.err(ctx)
 }
@@ -326,17 +363,26 @@ func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Optio
 	}
 
 	// suffix[i] = Σ over remaining tasks of their cheapest total cost
-	// (w_h·|h|), the quantity behind Eq. (1).
+	// (w_h·|h|), the quantity behind Eq. (1). The max over tasks of the
+	// cheapest edge *weight* is the max-element root bound: whichever
+	// hyperedge a task picks, each of its processors absorbs w_e whole.
 	suffix := make([]int64, n+1)
+	var maxElem int64
 	for i := n - 1; i >= 0; i-- {
 		t := order[i]
-		best := int64(-1)
+		best, bestW := int64(-1), int64(-1)
 		for _, e := range h.TaskEdges(t) {
 			if c := cost[e]; best < 0 || c < best {
 				best = c
 			}
+			if w := h.Weight[e]; bestW < 0 || w < bestW {
+				bestW = w
+			}
 		}
 		suffix[i] = suffix[i+1] + best
+		if bestW > maxElem {
+			maxElem = bestW
+		}
 	}
 
 	inc := core.SortedGreedyHyp(h, core.HyperOptions{})
@@ -400,7 +446,8 @@ func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Optio
 	rec(0, 0)
 	notify() // flush the final incumbent to the observer
 	if opts.Stats != nil {
-		*opts.Stats = SearchStats{Nodes: st.expanded, Workers: 1}
+		bound, wit := witnessFor(!st.stopped, (suffix[0]+int64(p)-1)/int64(p), maxElem, best)
+		*opts.Stats = SearchStats{Nodes: st.expanded, Workers: 1, Bound: bound, Witness: wit}
 	}
 	return bestA, best, st.err(ctx)
 }

@@ -902,11 +902,15 @@ func SolveSingleProcParCtx(ctx context.Context, g *bipartite.Graph, opts Options
 	release()
 	sh.observe() // flush the final incumbent to the observer
 	if opts.Stats != nil {
+		complete := !sh.exhausted.Load() && !sh.cancelled.Load()
+		bound, wit := witnessFor(complete, (pr.suffixAvg[0]+int64(pr.p)-1)/int64(pr.p), pr.suffixMax[0], sh.bestM)
 		*opts.Stats = SearchStats{
 			Nodes:       sh.nodes.Load(),
 			Workers:     workers,
 			Subproblems: int64(len(frontier)) + sh.splits.Load(),
 			Steals:      sh.steals.Load(),
+			Bound:       bound,
+			Witness:     wit,
 		}
 	}
 	return append(core.Assignment(nil), sh.bestA...), sh.bestM, sh.err(ctx)
@@ -1509,11 +1513,15 @@ func SolveMultiProcParCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Op
 	release()
 	sh.observe() // flush the final incumbent to the observer
 	if opts.Stats != nil {
+		complete := !sh.exhausted.Load() && !sh.cancelled.Load()
+		bound, wit := witnessFor(complete, (pr.suffixAvg[0]+int64(pr.p)-1)/int64(pr.p), pr.suffixMax[0], sh.bestM)
 		*opts.Stats = SearchStats{
 			Nodes:       sh.nodes.Load(),
 			Workers:     workers,
 			Subproblems: int64(len(frontier)) + sh.splits.Load(),
 			Steals:      sh.steals.Load(),
+			Bound:       bound,
+			Witness:     wit,
 		}
 	}
 	return append(core.HyperAssignment(nil), sh.bestA...), sh.bestM, sh.err(ctx)

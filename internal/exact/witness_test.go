@@ -1,0 +1,111 @@
+package exact
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"semimatch/internal/cert"
+	"semimatch/internal/core"
+)
+
+// TestSearchStatsWitness: every engine (sequential and parallel, both
+// classes) reports a root bound and a witness that certifies its result —
+// a completed search claims optimality (a bound that closed the gap, or
+// exhaustion), a truncated one claims nothing, and the reported bound
+// never exceeds the returned makespan.
+func TestSearchStatsWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomWeightedGraph(rng, 9, 3, 3, 9)
+		h := randomHyper(rng, 7, 3, 3, 2, 6)
+
+		type run struct {
+			name  string
+			solve func(st *SearchStats) (int64, error)
+			inst  any
+		}
+		runs := []run{
+			{"sp-seq", func(st *SearchStats) (int64, error) {
+				_, m, err := SolveSingleProc(g, Options{Stats: st})
+				return m, err
+			}, g},
+			{"sp-par", func(st *SearchStats) (int64, error) {
+				_, m, err := SolveSingleProcPar(g, Options{Stats: st, Workers: 2})
+				return m, err
+			}, g},
+			{"mp-seq", func(st *SearchStats) (int64, error) {
+				_, m, err := SolveMultiProc(h, Options{Stats: st})
+				return m, err
+			}, h},
+			{"mp-par", func(st *SearchStats) (int64, error) {
+				_, m, err := SolveMultiProcPar(h, Options{Stats: st, Workers: 2})
+				return m, err
+			}, h},
+		}
+		for _, r := range runs {
+			var st SearchStats
+			m, err := r.solve(&st)
+			if err != nil {
+				t.Fatalf("%s: %v", r.name, err)
+			}
+			if st.Witness == cert.WitnessNone {
+				t.Fatalf("%s: completed search reported no witness (stats %+v)", r.name, st)
+			}
+			if st.Bound > m {
+				t.Fatalf("%s: bound %d > makespan %d", r.name, st.Bound, m)
+			}
+			avg, maxElem, berr := cert.Bounds(r.inst)
+			if berr != nil {
+				t.Fatal(berr)
+			}
+			switch st.Witness {
+			case cert.WitnessAverageLoad:
+				if avg != m {
+					t.Fatalf("%s: average-load witness but avg %d ≠ makespan %d", r.name, avg, m)
+				}
+			case cert.WitnessMaxElement:
+				if maxElem != m {
+					t.Fatalf("%s: max-element witness but maxElem %d ≠ makespan %d", r.name, maxElem, m)
+				}
+			case cert.WitnessExhaustive:
+				if avg == m || maxElem == m {
+					t.Fatalf("%s: exhaustive witness although a bound closes the gap (avg %d, maxElem %d, m %d)",
+						r.name, avg, maxElem, m)
+				}
+			}
+			want := avg
+			if maxElem > want {
+				want = maxElem
+			}
+			if st.Bound != want {
+				t.Fatalf("%s: bound %d, want max(avg, maxElem) = %d", r.name, st.Bound, want)
+			}
+		}
+	}
+}
+
+// TestSearchStatsWitnessTruncated: a budget-truncated search reports
+// WitnessNone — its incumbent carries no optimality claim — while still
+// reporting the root bound.
+func TestSearchStatsWitnessTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomWeightedGraph(rng, 18, 4, 4, 50)
+	var st SearchStats
+	a, m, err := SolveSingleProcCtx(context.Background(), g, Options{MaxNodes: 5, Stats: &st})
+	if err == nil {
+		t.Skip("instance solved within 5 nodes; cannot exercise truncation")
+	}
+	if a == nil {
+		t.Fatal("truncated solve returned no incumbent")
+	}
+	if got := core.Makespan(g, a); got != m {
+		t.Fatalf("incumbent makespan %d, reported %d", got, m)
+	}
+	if st.Witness != cert.WitnessNone {
+		t.Fatalf("truncated search claimed witness %s", st.Witness)
+	}
+	if st.Bound <= 0 {
+		t.Fatalf("truncated search lost the root bound: %+v", st)
+	}
+}

@@ -41,6 +41,7 @@ import (
 
 	"semimatch/internal/batch"
 	"semimatch/internal/bipartite"
+	"semimatch/internal/cert"
 	"semimatch/internal/encode"
 	"semimatch/internal/hypergraph"
 	"semimatch/internal/registry"
@@ -89,6 +90,15 @@ type Options struct {
 	// DefaultDeadline is applied to requests whose context has no
 	// deadline; 0 means none.
 	DefaultDeadline time.Duration
+	// CacheDir enables the durable cache tier: a content-addressed,
+	// checksummed on-disk store under the memory LRU, so warm state
+	// survives restarts (and can be pre-warmed from a corpus). Entries
+	// are admitted back into service only after their certificate
+	// verifies against the canonical instance; corrupt, truncated or
+	// wrong-version files are skipped and reaped. Empty disables the
+	// tier. The directory is created if needed; creation or write
+	// failures disable nothing else and are surfaced in Stats.
+	CacheDir string
 	// Batch tunes the "auto" hypergraph policy (portfolio members,
 	// refinement, exact-attempt limits). Workers and InstanceTimeout are
 	// ignored: the service supplies its own concurrency and deadlines.
@@ -141,16 +151,37 @@ type Result struct {
 	// Loads is the per-processor load vector. Shared with the cache on
 	// hits — treat as immutable.
 	Loads []int64
+	// LowerBound is the strongest supportable lower bound on the optimal
+	// makespan: the certificate's when one was issued, else the class
+	// bound. Makespan − LowerBound is the proven optimality gap.
+	LowerBound int64
+	// Certificate is the proof-carrying form of this result (see
+	// internal/cert); the service verifies it before caching or serving
+	// from disk. Shared with the cache on hits — treat as immutable.
+	Certificate *cert.Certificate
+	// Trust is the tier the service's own verification established for
+	// Certificate: TierVerified/TierAttested for independently checked
+	// results, TierHeuristic otherwise.
+	Trust cert.Tier
 	// Optimal reports a provably optimal schedule.
 	Optimal bool
 	// Truncated reports a deadline- or budget-truncated solve: the
 	// schedule is valid but not provably best. Truncated results are never
 	// cached.
 	Truncated bool
-	// Cached reports that this result was served from the cache.
+	// Cached reports that this result was served from a cache tier
+	// (memory or disk) rather than a fresh solve.
 	Cached bool
 	// Elapsed is the wall-clock solve time (zero-ish for cache hits).
 	Elapsed time.Duration
+
+	// noStore marks a result that failed certificate verification: it is
+	// still returned — flagged non-optimal with heuristic trust — but
+	// never admitted to any cache tier.
+	noStore bool
+	// fromDisk marks a result loaded from the disk tier, so the teardown
+	// path promotes it to the memory LRU without rewriting the file.
+	fromDisk bool
 }
 
 // Stats is a counters snapshot for monitoring (GET /stats).
@@ -168,15 +199,31 @@ type Stats struct {
 	Truncated   uint64 `json:"truncated"`
 	// Overloaded counts requests rejected by admission control.
 	Overloaded uint64 `json:"overloaded"`
-	InFlight   int64  `json:"in_flight"`
-	QueueDepth int    `json:"queue_depth"`
-	Workers    int    `json:"workers"`
+	// VerifyFailures counts results whose certificate failed independent
+	// verification — fresh solves barred from the cache, and disk entries
+	// rejected and reaped. Nonzero means a solver bug, a corrupted store,
+	// or tampering.
+	VerifyFailures uint64 `json:"verify_failures"`
+	// DiskHits/DiskMisses/DiskWrites/DiskWriteErrors/DiskReaped are the
+	// durable tier's counters (all zero when CacheDir is unset): lookups
+	// served after verification, lookups that found nothing usable,
+	// entries persisted, failed persists, and corrupt/stale/unverifiable
+	// files deleted on load.
+	DiskHits        uint64 `json:"disk_hits"`
+	DiskMisses      uint64 `json:"disk_misses"`
+	DiskWrites      uint64 `json:"disk_writes"`
+	DiskWriteErrors uint64 `json:"disk_write_errors"`
+	DiskReaped      uint64 `json:"disk_reaped"`
+	InFlight        int64  `json:"in_flight"`
+	QueueDepth      int    `json:"queue_depth"`
+	Workers         int    `json:"workers"`
 }
 
 // Service is a reusable, concurrency-safe solving service.
 type Service struct {
 	opts    Options
 	cache   *lruCache
+	disk    *diskCache // durable tier under the LRU; nil without CacheDir
 	runner  *batch.Runner
 	queue   chan struct{} // admission slots: solves in flight
 	workers chan struct{} // run slots: solves executing
@@ -189,13 +236,14 @@ type Service struct {
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
-	requests    atomic.Uint64
-	coalesced   atomic.Uint64
-	solves      atomic.Uint64
-	solveErrors atomic.Uint64
-	truncated   atomic.Uint64
-	overloaded  atomic.Uint64
-	inFlight    atomic.Int64
+	requests       atomic.Uint64
+	coalesced      atomic.Uint64
+	solves         atomic.Uint64
+	solveErrors    atomic.Uint64
+	truncated      atomic.Uint64
+	overloaded     atomic.Uint64
+	verifyFailures atomic.Uint64
+	inFlight       atomic.Int64
 
 	// solveFn is the dispatch stage, replaceable by tests.
 	solveFn func(ctx context.Context, req *request) (*Result, error)
@@ -227,6 +275,9 @@ func New(opts Options) *Service {
 		solverWorkers: solverWorkers,
 		flights:       make(map[string]*flight),
 	}
+	if opts.CacheDir != "" {
+		s.disk = newDiskCache(opts.CacheDir)
+	}
 	s.solveFn = s.dispatch
 	return s
 }
@@ -249,6 +300,14 @@ func (req *request) problem() solve.Problem {
 		return solve.Bipartite(req.g)
 	}
 	return solve.Hyper(req.h)
+}
+
+// instance returns the canonical instance for certificate verification.
+func (req *request) instance() any {
+	if req.g != nil {
+		return req.g
+	}
+	return req.h
 }
 
 // Solve answers one request. instance must be a *semimatch
@@ -294,7 +353,7 @@ func (s *Service) Solve(ctx context.Context, instance any, algorithm string) (*R
 		select {
 		case <-leader.done:
 			if leader.err == nil {
-				return req.deliver(leader.res, false), nil
+				return req.deliver(leader.res, leader.res.fromDisk), nil
 			}
 			// The leader's failure may be its own: a leader whose request
 			// context died mid-solve fails with a context error that says
@@ -319,31 +378,106 @@ func (s *Service) Solve(ctx context.Context, instance any, algorithm string) (*R
 		if f.res == nil && f.err == nil {
 			f.err = errors.New("service: solve aborted")
 		}
-		if f.err == nil && !f.res.Truncated {
+		if f.err == nil && !f.res.Truncated && !f.res.noStore {
 			// A truncated incumbent is only the best schedule this
 			// deadline allowed; caching it would freeze a degraded answer
-			// for future requests, so only complete results are stored.
-			// The store happens before the flight is removed, so no
-			// request can slip between flight teardown and cache
-			// visibility and re-solve.
+			// for future requests, so only complete results whose
+			// certificate survived verification are stored. The store
+			// happens before the flight is removed, so no request can slip
+			// between flight teardown and cache visibility and re-solve.
 			s.cache.put(key, f.res)
+			if s.disk != nil && !f.res.fromDisk {
+				s.disk.put(key, f.res)
+			}
 		}
 		s.flightMu.Lock()
 		delete(s.flights, key)
 		s.flightMu.Unlock()
 		close(f.done)
 	}()
-	f.res, f.err = s.admitAndSolve(ictx, req)
+	f.res, f.err = s.leaderSolve(ictx, req, key)
 	if f.err != nil {
 		return nil, f.err
 	}
-	return req.deliver(f.res, false), nil
+	return req.deliver(f.res, f.res.fromDisk), nil
+}
+
+// leaderSolve is the single-flight leader's path: consult the durable
+// tier first (one disk read serves every coalesced duplicate), then fall
+// back to an admitted fresh solve, verifying the result's certificate
+// either way.
+func (s *Service) leaderSolve(ctx context.Context, req *request, key string) (*Result, error) {
+	if s.disk != nil {
+		if res, ok := s.disk.get(key, func(r *Result) error { return s.revalidate(req, r) }); ok {
+			return res, nil
+		}
+	}
+	res, err := s.admitAndSolve(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	s.verifyFresh(req, res)
+	return res, nil
+}
+
+// verifyFresh checks a fresh solve's certificate against the canonical
+// instance before the result can reach any cache tier. A result that
+// fails — a solver lying about feasibility, makespan or optimality —
+// is degraded in place: non-optimal, heuristic trust, barred from the
+// caches, and counted in Stats.VerifyFailures.
+func (s *Service) verifyFresh(req *request, res *Result) {
+	tier, err := cert.Verify(req.instance(), res.Certificate)
+	if err != nil {
+		s.verifyFailures.Add(1)
+		res.Trust = cert.TierHeuristic
+		res.Optimal = false
+		res.noStore = true
+		return
+	}
+	res.Trust = tier
+}
+
+// revalidate decides whether a decoded disk entry may serve this request:
+// its shape must match the request and its certificate must independently
+// verify against the canonical instance — the derived fields are then
+// recomputed from the instance rather than trusted, so a tampered file
+// can at worst be rejected, never believed. A non-nil error reaps the
+// entry.
+func (s *Service) revalidate(req *request, res *Result) error {
+	if res.Kind != req.kind {
+		return fmt.Errorf("service: disk entry kind %q, want %q", res.Kind, req.kind)
+	}
+	c := res.Certificate
+	if c == nil {
+		return errors.New("service: disk entry has no certificate")
+	}
+	if len(c.Assignment) != len(res.Assignment) {
+		return errors.New("service: disk entry assignment differs from its certificate")
+	}
+	for i, v := range c.Assignment {
+		if res.Assignment[i] != v {
+			return errors.New("service: disk entry assignment differs from its certificate")
+		}
+	}
+	tier, err := cert.Verify(req.instance(), c)
+	if err != nil {
+		s.verifyFailures.Add(1)
+		return err
+	}
+	// Recompute what the certificate proves correct; trust nothing else.
+	res.Fingerprint = req.fp
+	res.Makespan, res.Loads = req.problem().MakespanLoads(res.Assignment)
+	res.LowerBound = c.LowerBound
+	res.Trust = tier
+	res.Truncated = false
+	res.fromDisk = true
+	return nil
 }
 
 // Stats returns a counters snapshot.
 func (s *Service) Stats() Stats {
 	hits, misses, evicted := s.cache.counters()
-	return Stats{
+	st := Stats{
 		Requests:       s.requests.Load(),
 		CacheHits:      hits,
 		CacheMisses:    misses,
@@ -354,10 +488,15 @@ func (s *Service) Stats() Stats {
 		SolveErrors:    s.solveErrors.Load(),
 		Truncated:      s.truncated.Load(),
 		Overloaded:     s.overloaded.Load(),
+		VerifyFailures: s.verifyFailures.Load(),
 		InFlight:       s.inFlight.Load(),
 		QueueDepth:     s.opts.queueDepth(),
 		Workers:        s.opts.workers(),
 	}
+	if s.disk != nil {
+		st.DiskHits, st.DiskMisses, st.DiskWrites, st.DiskWriteErrors, st.DiskReaped = s.disk.counters()
+	}
+	return st
 }
 
 // newRequest validates, canonicalizes and fingerprints one request.
@@ -443,6 +582,15 @@ func (req *request) deliver(res *Result, cached bool) *Result {
 			a[t] = req.inv[c]
 		}
 		out.Assignment = a
+		if out.Certificate != nil {
+			// The certificate travels in the requester's numbering too, so
+			// cert.Verify accepts it against the requester's own instance
+			// (the fingerprint is isomorphism-invariant; the schedule is
+			// the same one, renamed).
+			c := *out.Certificate
+			c.Assignment = a
+			out.Certificate = &c
+		}
 	}
 	return &out
 }
@@ -508,6 +656,8 @@ func (s *Service) dispatch(ctx context.Context, req *request) (*Result, error) {
 		res.Assignment = rep.Assignment
 		res.Loads = rep.Loads
 		res.Makespan = rep.Makespan
+		res.LowerBound = reportLowerBound(rep)
+		res.Certificate = rep.Certificate
 	default:
 		// The auto policy reuses the batch pipeline on a one-problem
 		// batch: heuristic race first, exact branch-and-bound when small
@@ -531,6 +681,8 @@ func (s *Service) dispatch(ctx context.Context, req *request) (*Result, error) {
 		res.Assignment = rep.Assignment
 		res.Loads = rep.Loads
 		res.Makespan = rep.Makespan
+		res.LowerBound = reportLowerBound(rep)
+		res.Certificate = rep.Certificate
 		res.Optimal = rep.Status == solve.StatusOptimal
 		// A schedule a deadline or budget curtailed is the best that
 		// budget allowed, not necessarily the policy's full answer — but
@@ -540,6 +692,16 @@ func (s *Service) dispatch(ctx context.Context, req *request) (*Result, error) {
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// reportLowerBound is the strongest supportable bound a Report carries:
+// the certificate's (equal to the makespan when a witness closed the
+// gap) when one was issued, else the class bound.
+func reportLowerBound(rep *solve.Report) int64 {
+	if c := rep.Certificate; c != nil && c.LowerBound > rep.LowerBound {
+		return c.LowerBound
+	}
+	return rep.LowerBound
 }
 
 // budgetClass buckets a context's remaining budget into a coarse class so

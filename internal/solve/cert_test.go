@@ -1,0 +1,126 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"semimatch/internal/cert"
+)
+
+// TestRunIssuesCertificates: every Run that produces a schedule carries a
+// certificate that cert.Verify independently accepts, and optimal runs
+// carry an optimality witness.
+func TestRunIssuesCertificates(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Problem
+		opts []Option
+	}{
+		{"auto-hyper", Hyper(randomHyper(3, 8, 3, 3, 2, 9)), nil},
+		{"auto-single-weighted", Bipartite(weightedGraph(4, 8, 3, 3, 9)), nil},
+		{"auto-single-unit", Bipartite(unitGraph(t, 5)), nil},
+		{"named-heuristic", Hyper(randomHyper(6, 10, 3, 3, 2, 9)), []Option{WithAlgorithm("SGH")}},
+		{"named-exact", Bipartite(weightedGraph(7, 7, 3, 3, 9)), []Option{WithAlgorithm("bnb-par")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Run(context.Background(), tc.p, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkReport(t, tc.p, rep)
+			c := rep.Certificate
+			if c == nil {
+				t.Fatal("report carries no certificate")
+			}
+			fp, err := tc.p.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Fingerprint != fp {
+				t.Fatalf("certificate fingerprint %.12s…, problem %.12s…", c.Fingerprint, fp)
+			}
+			tier, err := cert.Verify(tc.p.instance(), c)
+			if err != nil {
+				t.Fatalf("certificate rejected: %v", err)
+			}
+			if rep.Status == StatusOptimal {
+				if c.Witness.Kind == cert.WitnessNone {
+					t.Fatal("optimal report with no optimality witness")
+				}
+				if tier < cert.TierAttested {
+					t.Fatalf("optimal report verified only at %s", tier)
+				}
+			}
+		})
+	}
+}
+
+// TestWithVerifySetsTrust: WithVerify grades Report.Trust; without it the
+// field stays at its zero value.
+func TestWithVerifySetsTrust(t *testing.T) {
+	p := Bipartite(unitGraph(t, 9))
+	rep, err := Run(context.Background(), p, WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != StatusOptimal {
+		t.Fatalf("unit instance not solved optimally: %s", rep.Status)
+	}
+	if rep.Trust < cert.TierAttested {
+		t.Fatalf("trust = %s, want at least attested for a verified optimal result", rep.Trust)
+	}
+
+	rep, err = Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trust != cert.TierHeuristic {
+		t.Fatalf("without WithVerify trust = %s, want the heuristic zero value", rep.Trust)
+	}
+}
+
+// TestVerifyReportDowngradesLies: a report whose certificate does not
+// withstand verification loses its StatusOptimal and yields
+// ErrVerifyFailed — the WithVerify safety property, exercised directly on
+// a forged report.
+func TestVerifyReportDowngradesLies(t *testing.T) {
+	p := Bipartite(weightedGraph(12, 8, 3, 3, 9))
+	rep, err := Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Certificate == nil {
+		t.Fatal("no certificate to forge")
+	}
+
+	// Forge an optimality claim the instance contradicts.
+	forged := *rep
+	c := *rep.Certificate
+	c.Makespan--
+	forged.Certificate = &c
+	forged.Status = StatusOptimal
+	if verr := verifyReport(p, &forged); verr == nil {
+		t.Fatal("forged certificate passed verification")
+	} else if !errors.Is(verr, ErrVerifyFailed) {
+		t.Fatalf("err = %v, want ErrVerifyFailed", verr)
+	}
+	if forged.Status != StatusHeuristic {
+		t.Fatalf("status after failed verification = %s, want heuristic", forged.Status)
+	}
+	if forged.Trust != cert.TierHeuristic {
+		t.Fatalf("trust after failed verification = %s", forged.Trust)
+	}
+
+	// A missing certificate on an optimality claim is a failure too.
+	forged = *rep
+	forged.Certificate = nil
+	forged.Status = StatusOptimal
+	if verr := verifyReport(p, &forged); !errors.Is(verr, ErrVerifyFailed) {
+		t.Fatalf("missing certificate: err = %v, want ErrVerifyFailed", verr)
+	}
+	if forged.Status != StatusHeuristic {
+		t.Fatalf("status = %s, want heuristic", forged.Status)
+	}
+}

@@ -52,7 +52,7 @@ func checkContract(t *testing.T, p Problem, events []Incumbent, rep *Report) {
 		}
 		// Every observed incumbent must be a valid schedule with the
 		// reported makespan.
-		m, _ := p.makespanLoads(inc.Assignment)
+		m, _ := p.MakespanLoads(inc.Assignment)
 		if m != inc.Makespan {
 			t.Fatalf("observation %d: reported makespan %d, assignment yields %d", i, inc.Makespan, m)
 		}
@@ -73,8 +73,8 @@ func checkContract(t *testing.T, p Problem, events []Incumbent, rep *Report) {
 	if last.Makespan != rep.Makespan {
 		t.Fatalf("final observation %d, report makespan %d", last.Makespan, rep.Makespan)
 	}
-	lm, _ := p.makespanLoads(last.Assignment)
-	rm, _ := p.makespanLoads(rep.Assignment)
+	lm, _ := p.MakespanLoads(last.Assignment)
+	rm, _ := p.MakespanLoads(rep.Assignment)
 	if lm != rm {
 		t.Fatal("final observation's assignment differs from the report's in makespan")
 	}

@@ -156,8 +156,9 @@ func (p Problem) String() string {
 	return "Problem{}"
 }
 
-// makespanLoads evaluates an assignment in the problem's own encoding.
-func (p Problem) makespanLoads(a []int32) (int64, []int64) {
+// MakespanLoads evaluates an assignment in the problem's own encoding:
+// the per-processor load vector and its maximum.
+func (p Problem) MakespanLoads(a []int32) (int64, []int64) {
 	var loads []int64
 	if p.h != nil {
 		loads = core.HyperLoads(p.h, core.HyperAssignment(a))

@@ -2,9 +2,11 @@ package solve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"semimatch/internal/cert"
 	"semimatch/internal/core"
 	"semimatch/internal/exact"
 	"semimatch/internal/loadvec"
@@ -12,6 +14,13 @@ import (
 	"semimatch/internal/refine"
 	"semimatch/internal/registry"
 )
+
+// ErrVerifyFailed reports that WithVerify was requested and the result's
+// certificate did not withstand independent verification. The Report is
+// still returned — with Status downgraded from StatusOptimal if it
+// claimed a proof — so callers can keep the schedule while distrusting
+// the claim.
+var ErrVerifyFailed = errors.New("solve: certificate verification failed")
 
 // Defaults of the auto policy's exact-attempt stage (shared with the
 // batch runner, which routes through RunOptions).
@@ -79,6 +88,17 @@ type Report struct {
 	// Stats carries branch-and-bound search statistics when an exact
 	// solver ran (zero otherwise).
 	Stats exact.SearchStats
+	// Certificate is the proof-carrying form of this result: the claims —
+	// fingerprint, schedule, makespan, lower bound, optimality witness —
+	// that cert.Verify can check against the instance without trusting
+	// this process. Nil only when the Run produced no schedule or the
+	// instance could not be fingerprinted.
+	Certificate *cert.Certificate
+	// Trust is the tier verification established. It is meaningful only
+	// when verification ran (WithVerify, or a verifying caller such as
+	// the service); otherwise it stays TierHeuristic regardless of
+	// Status.
+	Trust cert.Tier
 	// Incumbents is the number of observations delivered to the
 	// registered Observer (0 without one).
 	Incumbents int
@@ -129,6 +149,11 @@ type Options struct {
 	// Refine post-processes MULTIPROC schedules with local search (never
 	// worse). SINGLEPROC problems ignore it.
 	Refine bool
+	// Verify re-checks the result's certificate against the instance
+	// before returning: Report.Trust is set to the established tier, and
+	// a StatusOptimal claim that fails verification is downgraded to
+	// StatusHeuristic with ErrVerifyFailed returned alongside the Report.
+	Verify bool
 	// Observer receives the incumbent trajectory; see Observer.
 	Observer Observer
 }
@@ -161,6 +186,11 @@ func WithPortfolio(algorithms ...string) Option {
 
 // WithObserver registers an incumbent observer; see Observer.
 func WithObserver(fn Observer) Option { return func(o *Options) { o.Observer = fn } }
+
+// WithVerify independently verifies the result's certificate before Run
+// returns: Report.Trust carries the established tier, and an optimality
+// claim that does not verify is downgraded (see Options.Verify).
+func WithVerify() Option { return func(o *Options) { o.Verify = true } }
 
 // WithExactLimit bounds the auto policy's exact-attempt stage to
 // instances of at most tasks tasks (negative disables the stage).
@@ -236,11 +266,45 @@ func RunOptions(ctx context.Context, p Problem, o Options) (*Report, error) {
 	}
 	rep.Class = p.Class()
 	rep.LowerBound = p.LowerBound()
-	rep.Makespan, rep.Loads = p.makespanLoads(rep.Assignment)
+	rep.Makespan, rep.Loads = p.MakespanLoads(rep.Assignment)
+	if rep.Assignment != nil {
+		rep.Certificate = cert.Issue(p.instance(), rep.Assignment, rep.Makespan,
+			rep.LowerBound, rep.Status == StatusOptimal, rep.Stats.Nodes, rep.Solver)
+	}
+	if o.Verify {
+		if verr := verifyReport(p, rep); verr != nil {
+			err = errors.Join(err, verr)
+		}
+	}
 	rep.Elapsed = time.Since(start)
 	obs.final(rep)
 	rep.Incumbents = obs.events()
 	return rep, err
+}
+
+// verifyReport re-checks rep's certificate against the instance and
+// grades rep.Trust. A StatusOptimal claim that fails verification is
+// downgraded to StatusHeuristic — optimality survives only proof.
+func verifyReport(p Problem, rep *Report) error {
+	rep.Trust = cert.TierHeuristic
+	if rep.Certificate == nil {
+		if rep.Assignment == nil {
+			return nil // nothing to certify, nothing claimed
+		}
+		if rep.Status == StatusOptimal {
+			rep.Status = StatusHeuristic
+		}
+		return fmt.Errorf("%w: no certificate issued", ErrVerifyFailed)
+	}
+	tier, verr := cert.Verify(p.instance(), rep.Certificate)
+	if verr != nil {
+		if rep.Status == StatusOptimal {
+			rep.Status = StatusHeuristic
+		}
+		return fmt.Errorf("%w: %w", ErrVerifyFailed, verr)
+	}
+	rep.Trust = tier
+	return nil
 }
 
 // runNamed executes exactly one registry solver.

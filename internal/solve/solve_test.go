@@ -92,7 +92,7 @@ func checkReport(t *testing.T, p Problem, rep *Report) {
 	if err != nil {
 		t.Fatalf("invalid assignment: %v", err)
 	}
-	m, _ := p.makespanLoads(rep.Assignment)
+	m, _ := p.MakespanLoads(rep.Assignment)
 	if m != rep.Makespan {
 		t.Fatalf("reported makespan %d, assignment yields %d", rep.Makespan, m)
 	}

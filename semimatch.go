@@ -8,6 +8,7 @@ import (
 	"semimatch/internal/adversarial"
 	"semimatch/internal/batch"
 	"semimatch/internal/bipartite"
+	"semimatch/internal/cert"
 	"semimatch/internal/core"
 	"semimatch/internal/encode"
 	"semimatch/internal/exact"
@@ -80,7 +81,16 @@ var (
 	// WithExactLimit bounds the auto policy's exact-attempt stage to
 	// instances of at most that many tasks (negative disables it).
 	WithExactLimit = solve.WithExactLimit
+	// WithVerify independently verifies the result's certificate before
+	// Run returns: Report.Trust carries the established tier, and an
+	// optimality claim that does not verify is downgraded to
+	// StatusHeuristic with ErrVerifyFailed returned alongside the Report.
+	WithVerify = solve.WithVerify
 )
+
+// ErrVerifyFailed reports that WithVerify was requested and the result's
+// certificate did not withstand independent verification.
+var ErrVerifyFailed = solve.ErrVerifyFailed
 
 // Incumbent is one observation of a run's best-schedule-so-far; see
 // Observer.
@@ -104,6 +114,56 @@ type Observer = solve.Observer
 func Run(ctx context.Context, p Problem, opts ...Option) (*Report, error) {
 	return solve.Run(ctx, p, opts...)
 }
+
+// --- Proof-carrying results ---
+
+// Certificate is the proof-carrying form of one result: the problem's
+// canonical fingerprint, the schedule, its claimed makespan and lower
+// bound, and an optimality witness naming which argument closed the gap.
+// Every Report and ServiceResult carries one; Verify checks it against
+// the instance without trusting its producer.
+type Certificate = cert.Certificate
+
+// CertWitness is a certificate's optimality argument.
+type CertWitness = cert.Witness
+
+// WitnessKind names the optimality argument of a Certificate.
+type WitnessKind = cert.WitnessKind
+
+// WitnessKind values: no claim, a lower bound that equals the makespan
+// (re-derivable from the instance), or a solver attestation of complete
+// search.
+const (
+	WitnessNone        = cert.WitnessNone
+	WitnessAverageLoad = cert.WitnessAverageLoad
+	WitnessMaxElement  = cert.WitnessMaxElement
+	WitnessExhaustive  = cert.WitnessExhaustive
+)
+
+// TrustTier is the trust level Verify establishes for a certificate.
+type TrustTier = cert.Tier
+
+// TrustTier values, weakest to strongest.
+const (
+	TierHeuristic = cert.TierHeuristic
+	TierAttested  = cert.TierAttested
+	TierVerified  = cert.TierVerified
+)
+
+// Verify checks a Certificate against the instance (*Graph or
+// *Hypergraph) it claims to certify, trusting nothing: the fingerprint,
+// the schedule's feasibility, the loads/makespan and the claimed bound
+// are all recomputed. It returns the trust tier the certificate earns —
+// TierVerified when a re-derived bound proves optimality locally,
+// TierAttested when optimality rests on a consistent solver attestation,
+// TierHeuristic when no optimality is claimed — or an error describing
+// the first claim that does not hold.
+func Verify(instance any, c *Certificate) (TrustTier, error) { return cert.Verify(instance, c) }
+
+// CertBounds re-derives the two cheap instance-level lower bounds
+// certificates are checked against: the average-load bound and the
+// max-element bound.
+func CertBounds(instance any) (avg, maxElem int64, err error) { return cert.Bounds(instance) }
 
 // --- Solver registry (discovery) ---
 
