@@ -24,6 +24,8 @@
 //	semibench -table 2 -json      # machine-readable output
 //	semibench -bench              # exact-solver perf micro-grid → BENCH.json
 //	semibench -bench -workers 8 -bench-seeds 10 -bench-out BENCH-8w.json
+//	semibench -bench -max-nodes-regress   # fail if any sequential case explores
+//	                                      # more nodes than the latest BENCH_<n>.json
 //	semibench -cpuprofile cpu.pb.gz -bench   # profile any run mode
 //	semibench -memprofile heap.pb.gz -table 2
 //

@@ -33,6 +33,8 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH.json", "with -bench, where to write the machine-readable report")
 	benchSeeds := flag.Int("bench-seeds", 0, "with -bench, instances per family (default 5)")
 	benchNodes := flag.Int64("bench-nodes", 0, "with -bench, per-solve node budget (default 300e6)")
+	benchRegress := flag.Bool("max-nodes-regress", false,
+		"with -bench, fail (exit 1, no snapshot) if any sequential case explores more nodes than the latest committed BENCH_<n>.json")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -105,6 +107,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "semibench: -bench: %v\n", err)
 			os.Exit(1)
 		}
+		if *benchRegress {
+			if prevPath, ok := latestSnapshotPath(*benchOut); !ok {
+				fmt.Fprintf(os.Stderr, "semibench: -max-nodes-regress: no previous snapshot next to %s; nothing to compare\n", *benchOut)
+			} else if regressions := checkRegress(prevPath, rep); len(regressions) > 0 {
+				fmt.Fprintf(os.Stderr, "semibench: -max-nodes-regress: %d sequential case(s) regressed vs %s:\n", len(regressions), prevPath)
+				for _, r := range regressions {
+					fmt.Fprintf(os.Stderr, "  %s\n", r)
+				}
+				os.Exit(1)
+			} else {
+				fmt.Printf("max-nodes-regress: no sequential case regressed vs %s\n", prevPath)
+			}
+		}
 		// Two copies per run: <out> is always the latest report, and a
 		// numbered <out-base>_<n>.json snapshot accumulates the perf
 		// trajectory across runs (and PRs) instead of overwriting it.
@@ -135,6 +150,49 @@ func writeBenchReport(path string, rep *bench.PerfReport) error {
 		werr = cerr
 	}
 	return werr
+}
+
+// checkRegress loads the previous snapshot and returns the sequential
+// node-count regressions of rep against it (see bench.NodeRegressions).
+func checkRegress(prevPath string, rep *bench.PerfReport) []string {
+	f, err := os.Open(prevPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "semibench: -max-nodes-regress: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	prev, err := bench.ReadPerfJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "semibench: -max-nodes-regress: %s: %v\n", prevPath, err)
+		os.Exit(1)
+	}
+	return bench.NodeRegressions(prev, rep)
+}
+
+// latestSnapshotPath returns the highest-numbered existing
+// "<base>_<n>.json" snapshot next to out, or ok=false when none exists.
+func latestSnapshotPath(out string) (string, bool) {
+	base := strings.TrimSuffix(out, ".json")
+	stem := filepath.Base(base)
+	best := 0
+	entries, err := os.ReadDir(filepath.Dir(out))
+	if err != nil {
+		return "", false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, stem+"_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		idx := strings.TrimSuffix(strings.TrimPrefix(name, stem+"_"), ".json")
+		if n, err := strconv.Atoi(idx); err == nil && n > best {
+			best = n
+		}
+	}
+	if best == 0 {
+		return "", false
+	}
+	return fmt.Sprintf("%s_%d.json", base, best), true
 }
 
 // nextSnapshotPath returns "<base>_<n>.json" next to out (out minus a

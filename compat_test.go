@@ -370,6 +370,7 @@ func TestCompatSymbolLedger(t *testing.T) {
 		semimatch.ExpectedVectorGreedy, semimatch.ExactSchedule,
 		semimatch.WitnessNone, semimatch.WitnessAverageLoad,
 		semimatch.WitnessMaxElement, semimatch.WitnessExhaustive,
+		semimatch.WitnessPacking, semimatch.WitnessMatching,
 		semimatch.TierHeuristic, semimatch.TierAttested, semimatch.TierVerified,
 	}
 	_ = time.Second // keep the import for future timing assertions

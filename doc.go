@@ -128,8 +128,10 @@
 // Every complete Run report carries a Certificate: the instance's
 // canonical fingerprint, the schedule, the claimed makespan and lower
 // bound, and an optimality witness naming the argument that closes the
-// gap (WitnessAverageLoad, WitnessMaxElement, or WitnessExhaustive for
-// a finished branch-and-bound; WitnessNone for heuristic schedules).
+// gap (a re-derivable lower bound — WitnessAverageLoad,
+// WitnessMaxElement, WitnessPacking, WitnessMatching — or
+// WitnessExhaustive for a finished branch-and-bound; WitnessNone for
+// heuristic schedules).
 // Verify re-derives everything from the instance alone and grades the
 // claim into a TrustTier — TierVerified when the optimality argument is
 // re-proven from first principles, TierAttested when feasibility and

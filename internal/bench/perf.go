@@ -50,13 +50,21 @@ type PerfFamily struct {
 	Degree, MaxEdgeSize int
 }
 
-// DefaultPerfFamilies is the recorded grid: hard 25-task instances, per
-// class one partition-shaped and one random-shaped family.
+// DefaultPerfFamilies is the recorded grid: per class one
+// partition-shaped and one random-shaped hard family, plus larger -xl
+// families that mark the engine's current frontier.
 var DefaultPerfFamilies = []PerfFamily{
 	{Name: "mp-partition-hard", Class: registry.MultiProc, Shape: "partition", NTasks: 25, NProcs: 4, WMin: 20, WMax: 80},
 	{Name: "mp-random-hard", Class: registry.MultiProc, Shape: "random", NTasks: 25, NProcs: 8, WMin: 1, WMax: 60, Degree: 5, MaxEdgeSize: 2},
 	{Name: "sp-partition-hard", Class: registry.SingleProc, Shape: "partition", NTasks: 25, NProcs: 4, WMin: 20, WMax: 80},
 	{Name: "sp-restricted-hard", Class: registry.SingleProc, Shape: "restricted", NTasks: 26, NProcs: 5, WMin: 20, WMax: 80, Degree: 4},
+	// The -xl families are out of reach for the pre-flat-core sequential
+	// engine (BENCH_3 and earlier): on mp-partition-xl it exhausts a
+	// 100M-node budget on every seed, and on sp-restricted-xl/seed=2 it
+	// exhausts the budget holding a suboptimal incumbent (389 vs the true
+	// 386). The flat-core parallel engine closes every -xl case.
+	{Name: "mp-partition-xl", Class: registry.MultiProc, Shape: "partition", NTasks: 32, NProcs: 5, WMin: 20, WMax: 80},
+	{Name: "sp-restricted-xl", Class: registry.SingleProc, Shape: "restricted", NTasks: 48, NProcs: 6, WMin: 20, WMax: 80, Degree: 4},
 }
 
 // PerfOptions configures RunPerf.

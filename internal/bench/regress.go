@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadPerfJSON parses a BENCH.json report previously written by
+// WritePerfJSON, rejecting payloads from a different schema generation.
+func ReadPerfJSON(r io.Reader) (*PerfReport, error) {
+	var rep PerfReport
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: parsing perf report: %w", err)
+	}
+	if rep.Schema != "semimatch-bench/v1" {
+		return nil, fmt.Errorf("bench: unsupported perf report schema %q", rep.Schema)
+	}
+	return &rep, nil
+}
+
+// NodeRegressions compares the sequential (workers=1) node counts of cur
+// against a previously recorded report: any case present in both — matched
+// by case name — that now explores more nodes is a search regression. The
+// node count of a sequential solve is deterministic for a fixed engine, so
+// this is a stable guard in a way wall-clock never is. Cases only present
+// on one side are ignored (families come and go across PRs), as are
+// parallel rows (steal timing makes their node counts nondeterministic).
+// Returns one human-readable line per regression; empty means pass.
+func NodeRegressions(prev, cur *PerfReport) []string {
+	base := make(map[string]PerfCase, len(prev.Cases))
+	for _, c := range prev.Cases {
+		if c.Workers == 1 {
+			base[c.Case] = c
+		}
+	}
+	var regressions []string
+	for _, c := range cur.Cases {
+		if c.Workers != 1 {
+			continue
+		}
+		old, ok := base[c.Case]
+		if !ok {
+			continue
+		}
+		if c.Nodes > old.Nodes {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d nodes (was %d, +%.1f%%)",
+					c.Case, c.Nodes, old.Nodes,
+					100*float64(c.Nodes-old.Nodes)/float64(max(old.Nodes, 1))))
+		}
+	}
+	return regressions
+}

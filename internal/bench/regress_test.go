@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func perfCase(name string, workers int, nodes int64) PerfCase {
+	return PerfCase{Case: name, Workers: workers, Nodes: nodes}
+}
+
+func TestNodeRegressions(t *testing.T) {
+	prev := &PerfReport{Cases: []PerfCase{
+		perfCase("fam/seed=1", 1, 1000),
+		perfCase("fam/seed=1", 4, 400), // parallel row: never compared
+		perfCase("fam/seed=2", 1, 2000),
+		perfCase("gone/seed=1", 1, 50), // family removed since: ignored
+	}}
+
+	t.Run("equal and lower pass", func(t *testing.T) {
+		cur := &PerfReport{Cases: []PerfCase{
+			perfCase("fam/seed=1", 1, 1000), // equal is not a regression
+			perfCase("fam/seed=2", 1, 1999),
+			perfCase("new/seed=1", 1, 1<<40), // no baseline: ignored
+		}}
+		if regs := NodeRegressions(prev, cur); len(regs) != 0 {
+			t.Fatalf("unexpected regressions: %v", regs)
+		}
+	})
+
+	t.Run("higher sequential count fails", func(t *testing.T) {
+		cur := &PerfReport{Cases: []PerfCase{
+			perfCase("fam/seed=1", 1, 1001),
+			perfCase("fam/seed=2", 1, 2000),
+		}}
+		regs := NodeRegressions(prev, cur)
+		if len(regs) != 1 {
+			t.Fatalf("want exactly one regression, got %v", regs)
+		}
+		if !strings.Contains(regs[0], "fam/seed=1") || !strings.Contains(regs[0], "1001") {
+			t.Fatalf("regression line should name case and count: %q", regs[0])
+		}
+	})
+
+	t.Run("parallel rows never flagged", func(t *testing.T) {
+		cur := &PerfReport{Cases: []PerfCase{
+			perfCase("fam/seed=1", 1, 900),
+			perfCase("fam/seed=1", 4, 1<<40), // par node counts are nondeterministic
+		}}
+		if regs := NodeRegressions(prev, cur); len(regs) != 0 {
+			t.Fatalf("parallel row flagged: %v", regs)
+		}
+	})
+}
+
+func TestReadPerfJSONRoundTrip(t *testing.T) {
+	rep, err := RunPerf(context.Background(), tinyPerfOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePerfJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPerfJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cases) != len(rep.Cases) {
+		t.Fatalf("round-trip lost cases: %d vs %d", len(back.Cases), len(rep.Cases))
+	}
+	// A re-run of the same grid must never regress against itself:
+	// sequential node counts are deterministic.
+	if regs := NodeRegressions(back, rep); len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+	if _, err := ReadPerfJSON(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := ReadPerfJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed payload accepted")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"semimatch/internal/core"
 	"semimatch/internal/encode"
 	"semimatch/internal/hypergraph"
+	"semimatch/internal/lb"
 )
 
 // Problem-class labels recorded in certificates (matching the registry's
@@ -116,6 +117,17 @@ const (
 	// certificates at TierAttested unless a re-derived bound happens to
 	// close the gap anyway.
 	WitnessExhaustive
+	// WitnessPacking: the bin-packing bound on the identical-machines
+	// relaxation (items are each task's cheapest placement weight;
+	// L1 + k-tuple + Martello–Toth dual) equals the makespan.
+	// Re-derivable from the instance in near-linear time.
+	WitnessPacking
+	// WitnessMatching: the matching/max-flow bound — the smallest
+	// deadline T for which every task can route its cheapest placement
+	// through an edge of weight ≤ T with processor capacity T — equals
+	// the makespan. Re-derivable from the instance in polynomial time
+	// (a max-flow bisection).
+	WitnessMatching
 )
 
 // String returns the witness label used in listings and JSON.
@@ -129,6 +141,10 @@ func (k WitnessKind) String() string {
 		return "max-element"
 	case WitnessExhaustive:
 		return "exhaustive"
+	case WitnessPacking:
+		return "packing"
+	case WitnessMatching:
+		return "matching"
 	default:
 		return fmt.Sprintf("WitnessKind(%d)", uint8(k))
 	}
@@ -148,6 +164,10 @@ func (k *WitnessKind) UnmarshalJSON(b []byte) error {
 		*k = WitnessMaxElement
 	case `"exhaustive"`:
 		*k = WitnessExhaustive
+	case `"packing"`:
+		*k = WitnessPacking
+	case `"matching"`:
+		*k = WitnessMatching
 	default:
 		return fmt.Errorf("cert: unknown witness kind %s", b)
 	}
@@ -195,7 +215,7 @@ type Certificate struct {
 // thing.
 func (c *Certificate) ClaimedTier() Tier {
 	switch c.Witness.Kind {
-	case WitnessAverageLoad, WitnessMaxElement:
+	case WitnessAverageLoad, WitnessMaxElement, WitnessPacking, WitnessMatching:
 		return TierVerified
 	case WitnessExhaustive:
 		return TierAttested
@@ -275,15 +295,67 @@ func boundsHyper(h *hypergraph.Hypergraph) (avg, maxElem int64) {
 	return (total + p - 1) / p, maxElem
 }
 
+// matchingBoundCap gates the opportunistic matching-bound re-derivation
+// in Issue: the max-flow bisection is polynomial but not free, so for
+// very large instances an optimal result keeps its exhaustive
+// attestation instead of paying a flow per certificate. Verification of
+// an explicitly claimed matching witness is never gated — correctness
+// beats cost once the claim is on the table.
+const matchingBoundCap = 65536
+
+// strongBounds re-derives the packing bound, and — only if packing
+// leaves the gap open and the instance is within matchingBoundCap — the
+// matching bound. A zero matching value means "not computed".
+func strongBounds(instance any, makespan int64) (pack, match int64) {
+	switch v := instance.(type) {
+	case *bipartite.Graph:
+		pack = lb.Packing(lb.MinPlacementsGraph(v), v.NRight)
+		if pack != makespan && v.NLeft <= matchingBoundCap {
+			match = lb.MatchingGraph(v)
+		}
+	case *hypergraph.Hypergraph:
+		pack = lb.Packing(lb.MinPlacementsHyper(v), v.NProcs)
+		if pack != makespan && v.NTasks <= matchingBoundCap {
+			match = lb.MatchingHyper(v)
+		}
+	}
+	return pack, match
+}
+
+// rederive returns the verifier for a claimed strong-bound witness: it
+// recomputes the named bound from the instance, ungated.
+func rederive(instance any, kind WitnessKind) (int64, error) {
+	switch v := instance.(type) {
+	case *bipartite.Graph:
+		switch kind {
+		case WitnessPacking:
+			return lb.Packing(lb.MinPlacementsGraph(v), v.NRight), nil
+		case WitnessMatching:
+			return lb.MatchingGraph(v), nil
+		}
+	case *hypergraph.Hypergraph:
+		switch kind {
+		case WitnessPacking:
+			return lb.Packing(lb.MinPlacementsHyper(v), v.NProcs), nil
+		case WitnessMatching:
+			return lb.MatchingHyper(v), nil
+		}
+	}
+	return 0, fmt.Errorf("cert: cannot re-derive %s bound for %T", kind, instance)
+}
+
 // Issue builds the certificate for a solved instance: the fingerprint is
 // computed from the instance, and the witness is chosen by re-deriving
-// the cheap bounds — a bound that closes the gap beats an attestation,
-// because it makes the certificate independently verifiable. optimal
-// says the solver proved optimality (by attestation) even when no cheap
-// bound closes the gap; nodes is the attesting search's tree size.
-// lowerBound is the caller's class lower bound, used for no-claim
-// certificates. Returns nil (no certificate) only when the instance
-// cannot be fingerprinted or is of an unsupported type.
+// bounds — a bound that closes the gap beats an attestation, because it
+// makes the certificate independently verifiable. The cheap bounds
+// (average-load, max-element) are always tried; when the solver proved
+// optimality and the cheap bounds leave the gap open, the packing and
+// matching bounds are tried before falling back to the exhaustive
+// attestation. optimal says the solver proved optimality; nodes is the
+// attesting search's tree size. lowerBound is the caller's class lower
+// bound, used for no-claim certificates. Returns nil (no certificate)
+// only when the instance cannot be fingerprinted or is of an unsupported
+// type.
 func Issue(instance any, assignment []int32, makespan int64, lowerBound int64, optimal bool, nodes int64, solver string) *Certificate {
 	var fp, class string
 	var err error
@@ -315,8 +387,16 @@ func Issue(instance any, assignment []int32, makespan int64, lowerBound int64, o
 	case makespan == maxElem:
 		c.Witness.Kind = WitnessMaxElement
 	case optimal:
-		c.Witness.Kind = WitnessExhaustive
-		c.Witness.Nodes = nodes
+		pack, match := strongBounds(instance, makespan)
+		switch makespan {
+		case pack:
+			c.Witness.Kind = WitnessPacking
+		case match:
+			c.Witness.Kind = WitnessMatching
+		default:
+			c.Witness.Kind = WitnessExhaustive
+			c.Witness.Nodes = nodes
+		}
 	}
 	if c.Witness.Kind != WitnessNone {
 		// The gap is closed: the strongest supportable bound is the
@@ -355,7 +435,7 @@ func Verify(instance any, c *Certificate) (Tier, error) {
 		}
 		m := core.Makespan(v, core.Assignment(c.Assignment))
 		avg, maxElem := boundsSingle(v)
-		return verifyClaims(c, m, avg, maxElem)
+		return verifyClaims(v, c, m, avg, maxElem)
 	case *hypergraph.Hypergraph:
 		if c.Class != ClassMultiProc {
 			return TierHeuristic, fmt.Errorf("cert: certificate class %q does not match MULTIPROC instance", c.Class)
@@ -372,7 +452,7 @@ func Verify(instance any, c *Certificate) (Tier, error) {
 		}
 		m := core.HyperMakespan(v, core.HyperAssignment(c.Assignment))
 		avg, maxElem := boundsHyper(v)
-		return verifyClaims(c, m, avg, maxElem)
+		return verifyClaims(v, c, m, avg, maxElem)
 	case nil:
 		return TierHeuristic, errors.New("cert: nil instance")
 	default:
@@ -381,8 +461,10 @@ func Verify(instance any, c *Certificate) (Tier, error) {
 }
 
 // verifyClaims checks the numeric claims against the recomputed makespan
-// and re-derived bounds, and grades the witness.
-func verifyClaims(c *Certificate, makespan, avg, maxElem int64) (Tier, error) {
+// and re-derived bounds, and grades the witness. The cheap bounds are
+// always in hand; the strong bounds (packing, matching) are re-derived
+// from the instance only when the certificate's claims require them.
+func verifyClaims(instance any, c *Certificate, makespan, avg, maxElem int64) (Tier, error) {
 	if makespan != c.Makespan {
 		return TierHeuristic, fmt.Errorf("cert: makespan mismatch: certificate claims %d, schedule yields %d", c.Makespan, makespan)
 	}
@@ -409,6 +491,15 @@ func verifyClaims(c *Certificate, makespan, avg, maxElem int64) (Tier, error) {
 			return TierHeuristic, fmt.Errorf("cert: max-element witness does not hold: re-derived bound %d, makespan %d", maxElem, makespan)
 		}
 		return TierVerified, nil
+	case WitnessPacking, WitnessMatching:
+		got, err := rederive(instance, c.Witness.Kind)
+		if err != nil {
+			return TierHeuristic, err
+		}
+		if got != makespan {
+			return TierHeuristic, fmt.Errorf("cert: %s witness does not hold: re-derived bound %d, makespan %d", c.Witness.Kind, got, makespan)
+		}
+		return TierVerified, nil
 	case WitnessExhaustive:
 		if c.LowerBound != makespan {
 			return TierHeuristic, fmt.Errorf("cert: exhaustive witness with open gap: lower bound %d, makespan %d", c.LowerBound, makespan)
@@ -421,10 +512,25 @@ func verifyClaims(c *Certificate, makespan, avg, maxElem int64) (Tier, error) {
 		return TierAttested, nil
 	case WitnessNone:
 		if c.LowerBound > best {
+			// The cheap bounds cannot support the claim; the strong bounds
+			// might (a truncated search reports its root bound, which now
+			// includes packing and matching).
+			pack, match := strongBounds(instance, makespan)
+			if pack > best {
+				best = pack
+			}
+			if match > best {
+				best = match
+			}
+			if best > makespan {
+				return TierHeuristic, fmt.Errorf("cert: re-derived lower bound %d exceeds makespan %d", best, makespan)
+			}
+		}
+		if c.LowerBound > best {
 			return TierHeuristic, fmt.Errorf("cert: claimed lower bound %d not supported by re-derivable bounds (≤ %d)", c.LowerBound, best)
 		}
 		if best == makespan {
-			// The heuristic hit a re-derivable bound: provably optimal,
+			// The schedule hit a re-derivable bound: provably optimal,
 			// whatever the producer knew.
 			return TierVerified, nil
 		}

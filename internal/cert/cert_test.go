@@ -218,6 +218,8 @@ func TestEnumJSON(t *testing.T) {
 		WitnessAverageLoad: `"average-load"`,
 		WitnessMaxElement:  `"max-element"`,
 		WitnessExhaustive:  `"exhaustive"`,
+		WitnessPacking:     `"packing"`,
+		WitnessMatching:    `"matching"`,
 	} {
 		b, err := json.Marshal(k)
 		if err != nil || string(b) != want {
@@ -285,12 +287,136 @@ func TestClaimedTier(t *testing.T) {
 		{WitnessNone, TierHeuristic},
 		{WitnessAverageLoad, TierVerified},
 		{WitnessMaxElement, TierVerified},
+		{WitnessPacking, TierVerified},
+		{WitnessMatching, TierVerified},
 		{WitnessExhaustive, TierAttested},
 	} {
 		c := &Certificate{Witness: Witness{Kind: tc.kind}}
 		if got := c.ClaimedTier(); got != tc.want {
 			t.Fatalf("ClaimedTier(%s) = %s, want %s", tc.kind, got, tc.want)
 		}
+	}
+}
+
+// TestIssuePackingWitness: when neither cheap bound closes the gap but
+// the bin-packing bound does, Issue claims WitnessPacking and Verify
+// re-derives it to TierVerified — no attestation needed.
+func TestIssuePackingWitness(t *testing.T) {
+	// 3 identical tasks of weight 4 on 2 fully-eligible procs: two tasks
+	// must share, so OPT = 8. avg = ⌈12/2⌉ = 6 and maxElem = 4 leave the
+	// gap open; the 2-tuple packing bound closes it at 8.
+	b := bipartite.NewBuilder(3, 2)
+	for task := 0; task < 3; task++ {
+		b.AddWeightedEdge(task, 0, 4)
+		b.AddWeightedEdge(task, 1, 4)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []int32{0, 1, 0} // loads 8, 4
+	m := core.Makespan(g, core.Assignment(a))
+	if m != 8 {
+		t.Fatalf("makespan = %d, want 8", m)
+	}
+	c := Issue(g, a, m, 6, true, 99, "bnb")
+	if c.Witness.Kind != WitnessPacking {
+		t.Fatalf("witness = %s, want packing", c.Witness.Kind)
+	}
+	if c.LowerBound != m {
+		t.Fatalf("lower bound = %d, want %d (gap closed)", c.LowerBound, m)
+	}
+	tier, err := Verify(g, c)
+	if err != nil || tier != TierVerified {
+		t.Fatalf("Verify: tier %s, err %v; want verified", tier, err)
+	}
+	// A matching claim on the same certificate must fail: the flow
+	// relaxation splits load fractionally and only proves 6.
+	forged := *c
+	forged.Witness.Kind = WitnessMatching
+	if _, err := Verify(g, &forged); err == nil || !strings.Contains(err.Error(), "matching witness does not hold") {
+		t.Fatalf("forged matching witness: err %v", err)
+	}
+}
+
+// TestIssuePackingWitnessHyper: the packing witness path for MULTIPROC —
+// cheapest configuration weights feed the identical-machines relaxation.
+func TestIssuePackingWitnessHyper(t *testing.T) {
+	b := hypergraph.NewBuilder(3, 2)
+	for task := 0; task < 3; task++ {
+		b.AddEdge(task, []int{0}, 4)
+		b.AddEdge(task, []int{1}, 4)
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []int32{0, 3, 4} // t0→p0, t1→p1, t2→p0: loads 8, 4
+	m := core.HyperMakespan(h, core.HyperAssignment(a))
+	if m != 8 {
+		t.Fatalf("makespan = %d, want 8", m)
+	}
+	c := Issue(h, a, m, 6, true, 0, "bnb-mp")
+	if c.Witness.Kind != WitnessPacking {
+		t.Fatalf("witness = %s, want packing", c.Witness.Kind)
+	}
+	tier, err := Verify(h, c)
+	if err != nil || tier != TierVerified {
+		t.Fatalf("Verify: tier %s, err %v; want verified", tier, err)
+	}
+}
+
+// TestIssueMatchingWitness: when only the matching/flow bound sees the
+// eligibility bottleneck, Issue claims WitnessMatching and Verify
+// re-derives it.
+func TestIssueMatchingWitness(t *testing.T) {
+	// Tasks 0 and 1 are eligible only on proc 0 (weight 3 each); task 2
+	// only on proc 1 (weight 1). OPT = 6 (proc 0 carries both 3s).
+	// avg = ⌈7/2⌉ = 4, maxElem = 3, packing([3,3,1], 2) = 4: all open.
+	// The flow relaxation must push 6 units through proc 0, so the
+	// matching bound is exactly 6.
+	b := bipartite.NewBuilder(3, 2)
+	b.AddWeightedEdge(0, 0, 3)
+	b.AddWeightedEdge(1, 0, 3)
+	b.AddWeightedEdge(2, 1, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []int32{0, 0, 1}
+	m := core.Makespan(g, core.Assignment(a))
+	if m != 6 {
+		t.Fatalf("makespan = %d, want 6", m)
+	}
+	c := Issue(g, a, m, 4, true, 0, "bnb")
+	if c.Witness.Kind != WitnessMatching {
+		t.Fatalf("witness = %s, want matching", c.Witness.Kind)
+	}
+	if c.LowerBound != m {
+		t.Fatalf("lower bound = %d, want %d (gap closed)", c.LowerBound, m)
+	}
+	tier, err := Verify(g, c)
+	if err != nil || tier != TierVerified {
+		t.Fatalf("Verify: tier %s, err %v; want verified", tier, err)
+	}
+	// JSON round-trip preserves the strong-bound claim end to end.
+	raw, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Certificate
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if tier, err := Verify(g, &back); err != nil || tier != TierVerified {
+		t.Fatalf("deserialized matching certificate: tier %s, err %v", tier, err)
+	}
+	// A packing claim on this instance cannot be supported (packing only
+	// proves 4).
+	forged := back
+	forged.Witness.Kind = WitnessPacking
+	if _, err := Verify(g, &forged); err == nil || !strings.Contains(err.Error(), "packing witness does not hold") {
+		t.Fatalf("forged packing witness: err %v", err)
 	}
 }
 

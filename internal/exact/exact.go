@@ -4,11 +4,18 @@
 // ground truth for validating the heuristics and the Theorem 1 reduction,
 // and as the optimum column in small-instance experiments.
 //
-// The solvers are branch-and-bound searches with two prunes: the incumbent
-// bound (a greedy schedule initializes it) and an average-load lower bound
-// on the remaining work. They are exact whenever they return without
-// ErrLimit; instances beyond ~30 tasks should use the heuristics and the
-// LowerBound instead.
+// All four solvers (sequential and parallel, both problem shapes) run on
+// one flat-core branch-and-bound engine: the instance is compiled once
+// into CSR index/offset arrays with bitset pin sets (internal/exact/
+// flatcore), and the node loop walks those flat arrays with zero per-node
+// heap allocation. The engine prunes with a bound hierarchy — per node the
+// incumbent, average-load, max-element, and min-load bounds (integer
+// arithmetic only); at the root and at subproblem expansions the strong
+// bin-packing and matching/max-flow bounds from internal/lb — plus
+// processor-symmetry dedup and task-dominance rules compiled into the flat
+// shape. Searches are exact whenever they return without ErrLimit;
+// instances beyond ~30 tasks should use the heuristics and the LowerBound
+// instead.
 package exact
 
 import (
@@ -16,12 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 
 	"semimatch/internal/adversarial"
 	"semimatch/internal/bipartite"
 	"semimatch/internal/cert"
 	"semimatch/internal/core"
+	"semimatch/internal/exact/flatcore"
 	"semimatch/internal/hypergraph"
 )
 
@@ -35,75 +42,6 @@ var ErrLimit = errors.New("exact: node limit exceeded")
 // provably optimal. Errors returned on cancellation match both
 // errors.Is(err, ErrCancelled) and errors.Is(err, ctx.Err()).
 var ErrCancelled = errors.New("exact: cancelled")
-
-// ctxCheckInterval is how many search-tree nodes are expanded between
-// context polls. Nodes cost tens of nanoseconds, so this bounds the
-// cancellation latency to well under a millisecond while keeping the poll
-// off the hot path.
-const ctxCheckInterval = 4096
-
-// stopper folds the two ways a search can stop early — node budget and
-// context cancellation — into one cheap per-node check. The same
-// checkpoint also drives the incumbent observer: notify (when set) runs
-// every ctxCheckInterval nodes, so observation shares the existing poll
-// instead of adding a branch to the hot loop.
-type stopper struct {
-	nodes      int64
-	expanded   int64
-	sinceCheck int
-	done       <-chan struct{}
-	notify     func()
-	stopped    bool
-	cancelled  bool
-}
-
-func newStopper(ctx context.Context, maxNodes int64) *stopper {
-	return &stopper{nodes: maxNodes, done: ctx.Done()}
-}
-
-// stop reports whether the search must unwind. Once it returns true it
-// keeps returning true, so the recursion exits quickly.
-func (s *stopper) stop() bool {
-	if s.stopped {
-		return true
-	}
-	s.nodes--
-	if s.nodes < 0 {
-		s.stopped = true
-		return true
-	}
-	s.expanded++
-	if s.done != nil || s.notify != nil {
-		s.sinceCheck++
-		if s.sinceCheck >= ctxCheckInterval {
-			s.sinceCheck = 0
-			if s.notify != nil {
-				s.notify()
-			}
-			if s.done != nil {
-				select {
-				case <-s.done:
-					s.stopped, s.cancelled = true, true
-					return true
-				default:
-				}
-			}
-		}
-	}
-	return false
-}
-
-// err translates the stop cause into the API error, or nil if the search
-// ran to completion.
-func (s *stopper) err(ctx context.Context) error {
-	if !s.stopped {
-		return nil
-	}
-	if s.cancelled {
-		return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
-	}
-	return ErrLimit
-}
 
 // Options bounds the search.
 type Options struct {
@@ -140,38 +78,41 @@ type SearchStats struct {
 	Workers int
 	// Subproblems counts independent subproblems executed by the
 	// work-stealing pool: the shallow-frontier split plus any re-splits of
-	// stolen work. Zero for the sequential solvers.
+	// stolen work. Zero for the sequential solvers, and zero for any solve
+	// closed at the root by a bound before the pool spun up.
 	Subproblems int64
 	// Steals counts subproblems a worker took from another worker's deque.
 	// Zero for the sequential solvers.
 	Steals int64
 	// Bound is the strongest instance-level lower bound the search derived
-	// at the root: max(average-load, max-element). Valid whether or not
-	// the search completed.
+	// at the root: the max of the average-load, max-element, bin-packing,
+	// and matching bounds. Valid whether or not the search completed.
 	Bound int64
-	// Witness names the optimality argument for the returned schedule:
-	// which root bound closed the gap, WitnessExhaustive when the tree was
+	// Witness names the optimality argument for the returned schedule: the
+	// cheapest root bound that equals the makespan (average-load,
+	// max-element, packing, matching), WitnessExhaustive when the tree was
 	// searched to completion without a bound meeting the makespan, or
 	// WitnessNone when the search was truncated (budget or cancellation).
 	Witness cert.WitnessKind
 }
 
-// witnessFor grades a finished search: bound is max(avg, maxElem), and the
-// witness is the cheapest argument that proves the returned makespan
-// optimal — a root bound that equals it, else exhaustion (only if the tree
-// was fully searched).
-func witnessFor(complete bool, avg, maxElem, makespan int64) (int64, cert.WitnessKind) {
-	bound := avg
-	if maxElem > bound {
-		bound = maxElem
-	}
+// witnessFor grades a finished search: bound is the strongest root lower
+// bound, and the witness is the cheapest argument that proves the returned
+// makespan optimal — a root bound that equals it (cheapest to re-derive
+// first), else exhaustion (only if the tree was fully searched).
+func witnessFor(complete bool, b flatcore.Bounds, makespan int64) (int64, cert.WitnessKind) {
+	bound := b.Root()
 	switch {
 	case !complete:
 		return bound, cert.WitnessNone
-	case makespan == avg:
+	case makespan == b.Avg:
 		return bound, cert.WitnessAverageLoad
-	case makespan == maxElem:
+	case makespan == b.MaxElem:
 		return bound, cert.WitnessMaxElement
+	case makespan == b.Pack:
+		return bound, cert.WitnessPacking
+	case b.Match > 0 && makespan == b.Match:
+		return bound, cert.WitnessMatching
 	default:
 		return bound, cert.WitnessExhaustive
 	}
@@ -191,6 +132,11 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// seqChunk is the chunk limit handed to the flat-core state machine when it
+// runs single-threaded: effectively unbounded, so a sequential solve is one
+// uninterrupted DFS with no suspension or requeueing.
+const seqChunk = int64(1) << 62
+
 // SolveSingleProc computes an optimal SINGLEPROC schedule (weighted or
 // unit) by branch and bound. Tasks with empty eligibility sets yield an
 // error.
@@ -202,6 +148,10 @@ func SolveSingleProc(g *bipartite.Graph, opts Options) (core.Assignment, int64, 
 // search polls ctx alongside the MaxNodes budget and, when ctx is
 // cancelled, returns the incumbent with an error wrapping ErrCancelled and
 // ctx.Err().
+//
+// The sequential solver is the parallel engine run single-threaded: same
+// compiled flat shape, same bound hierarchy and prunes, one worker, no
+// pool. Node counts are therefore deterministic.
 func SolveSingleProcCtx(ctx context.Context, g *bipartite.Graph, opts Options) (core.Assignment, int64, error) {
 	n, p := g.NLeft, g.NRight
 	if p == 0 && n > 0 {
@@ -216,117 +166,29 @@ func SolveSingleProcCtx(ctx context.Context, g *bipartite.Graph, opts Options) (
 		return core.Assignment{}, 0, nil
 	}
 
-	// Branch on tasks with fewest options first.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(i, j int) bool { return g.Degree(order[i]) < g.Degree(order[j]) })
-
-	// minCost[t] = cheapest edge weight of t; suffix sums bound remaining
-	// work, and the max of the minima is the max-element root bound.
-	suffix := make([]int64, n+1)
-	var maxElem int64
-	for i := n - 1; i >= 0; i-- {
-		t := order[i]
-		w := g.Weights(t)
-		best := int64(1)
-		if w != nil {
-			best = w[0]
-			for _, x := range w[1:] {
-				if x < best {
-					best = x
-				}
-			}
-		}
-		suffix[i] = suffix[i+1] + best
-		if best > maxElem {
-			maxElem = best
-		}
-	}
-
-	// Incumbent from sorted-greedy.
+	pr := flatcore.CompileSP(g)
 	inc := core.SortedGreedy(g, core.GreedyOptions{})
-	best := core.Makespan(g, inc)
-	bestA := append(core.Assignment(nil), inc...)
-
-	loads := make([]int64, p)
-	cur := append(core.Assignment(nil), inc...)
-	var total int64
-	st := newStopper(ctx, opts.maxNodes())
-	notify := func() {}
-	if obs := opts.Observer; obs != nil {
-		lastObs := best + 1
-		notify = func() {
-			if best < lastObs {
-				lastObs = best
-				obs(best, append([]int32(nil), bestA...))
-			}
-		}
-		st.notify = notify
-		notify() // the initial greedy incumbent
+	sh := newParShared(inc, core.Makespan(g, inc), opts.maxNodes(), 1)
+	sh.rootLB = pr.Bounds.Root()
+	sh.obsFn = opts.Observer
+	sh.closeIfOptimal()
+	sh.observe() // the initial greedy incumbent
+	if !sh.closed.Load() {
+		release := watchCancel(ctx, sh)
+		s := newSPState(pr, sh)
+		s.chunkLimit = seqChunk
+		tk := &ticker{sh: sh}
+		s.run(nil, tk)
+		tk.flush()
+		release()
 	}
-
-	var rec func(i int, curMax int64)
-	rec = func(i int, curMax int64) {
-		if st.stop() {
-			return
-		}
-		if curMax >= best {
-			return
-		}
-		if i == n {
-			best = curMax
-			copy(bestA, cur)
-			return
-		}
-		// Remaining-work bound.
-		lb := (total + suffix[i] + int64(p) - 1) / int64(p)
-		if lb >= best {
-			return
-		}
-		t := order[i]
-		row := g.Neighbors(t)
-		// The weighted/unit branch is hoisted out of the child loop: the
-		// two loops are identical except for where the edge weight comes
-		// from, and the per-child `w != nil` test was measurable on the
-		// hot path.
-		if w := g.Weights(t); w != nil {
-			for k, proc := range row {
-				wt := w[k]
-				loads[proc] += wt
-				total += wt
-				nm := curMax
-				if loads[proc] > nm {
-					nm = loads[proc]
-				}
-				cur[t] = proc
-				rec(i+1, nm)
-				loads[proc] -= wt
-				total -= wt
-			}
-		} else {
-			for _, proc := range row {
-				loads[proc]++
-				total++
-				nm := curMax
-				if loads[proc] > nm {
-					nm = loads[proc]
-				}
-				cur[t] = proc
-				rec(i+1, nm)
-				loads[proc]--
-				total--
-			}
-		}
-	}
-	rec(0, 0)
-	notify() // flush the final incumbent to the observer
+	sh.observe() // flush the final incumbent to the observer
 	if opts.Stats != nil {
-		bound, wit := witnessFor(!st.stopped, (suffix[0]+int64(p)-1)/int64(p), maxElem, best)
-		*opts.Stats = SearchStats{Nodes: st.expanded, Workers: 1, Bound: bound, Witness: wit}
+		complete := sh.closed.Load() || (!sh.exhausted.Load() && !sh.cancelled.Load())
+		bound, wit := witnessFor(complete, pr.Bounds, sh.bestM)
+		*opts.Stats = SearchStats{Nodes: sh.nodes.Load(), Workers: 1, Bound: bound, Witness: wit}
 	}
-	return bestA, best, st.err(ctx)
+	return append(core.Assignment(nil), sh.bestA...), sh.bestM, sh.err(ctx)
 }
 
 // SolveMultiProc computes an optimal MULTIPROC schedule by branch and
@@ -335,10 +197,8 @@ func SolveMultiProc(h *hypergraph.Hypergraph, opts Options) (core.HyperAssignmen
 	return SolveMultiProcCtx(context.Background(), h, opts)
 }
 
-// SolveMultiProcCtx is SolveMultiProc with cooperative cancellation: the
-// search polls ctx alongside the MaxNodes budget and, when ctx is
-// cancelled, returns the incumbent with an error wrapping ErrCancelled and
-// ctx.Err().
+// SolveMultiProcCtx is SolveMultiProc with cooperative cancellation; see
+// SolveSingleProcCtx for the engine and error contract.
 func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (core.HyperAssignment, int64, error) {
 	n, p := h.NTasks, h.NProcs
 	if n == 0 {
@@ -347,109 +207,35 @@ func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Optio
 	if p == 0 {
 		return nil, 0, fmt.Errorf("exact: no processors")
 	}
-
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(i, j int) bool { return h.TaskDegree(order[i]) < h.TaskDegree(order[j]) })
-
-	// cost[e] = w_e·|h_e∩V2|, the total work hyperedge e adds across its
-	// processors — precomputed once instead of recomputed per node in the
-	// hot loop below.
-	cost := make([]int64, h.NumEdges())
-	for e := range cost {
-		cost[e] = h.Weight[e] * int64(h.EdgeSize(int32(e)))
-	}
-
-	// suffix[i] = Σ over remaining tasks of their cheapest total cost
-	// (w_h·|h|), the quantity behind Eq. (1). The max over tasks of the
-	// cheapest edge *weight* is the max-element root bound: whichever
-	// hyperedge a task picks, each of its processors absorbs w_e whole.
-	suffix := make([]int64, n+1)
-	var maxElem int64
-	for i := n - 1; i >= 0; i-- {
-		t := order[i]
-		best, bestW := int64(-1), int64(-1)
-		for _, e := range h.TaskEdges(t) {
-			if c := cost[e]; best < 0 || c < best {
-				best = c
-			}
-			if w := h.Weight[e]; bestW < 0 || w < bestW {
-				bestW = w
-			}
-		}
-		suffix[i] = suffix[i+1] + best
-		if bestW > maxElem {
-			maxElem = bestW
+	for t := 0; t < n; t++ {
+		if h.TaskDegree(t) == 0 {
+			return nil, 0, fmt.Errorf("exact: task %d has no configuration", t)
 		}
 	}
 
+	pr := flatcore.CompileMP(h)
 	inc := core.SortedGreedyHyp(h, core.HyperOptions{})
-	best := core.HyperMakespan(h, inc)
-	bestA := append(core.HyperAssignment(nil), inc...)
-
-	loads := make([]int64, p)
-	cur := append(core.HyperAssignment(nil), inc...)
-	var total int64
-	st := newStopper(ctx, opts.maxNodes())
-	notify := func() {}
-	if obs := opts.Observer; obs != nil {
-		lastObs := best + 1
-		notify = func() {
-			if best < lastObs {
-				lastObs = best
-				obs(best, append([]int32(nil), bestA...))
-			}
-		}
-		st.notify = notify
-		notify() // the initial greedy incumbent
+	sh := newParShared(inc, core.HyperMakespan(h, inc), opts.maxNodes(), 1)
+	sh.rootLB = pr.Bounds.Root()
+	sh.obsFn = opts.Observer
+	sh.closeIfOptimal()
+	sh.observe() // the initial greedy incumbent
+	if !sh.closed.Load() {
+		release := watchCancel(ctx, sh)
+		s := newMPState(pr, sh)
+		s.chunkLimit = seqChunk
+		tk := &ticker{sh: sh}
+		s.run(nil, tk)
+		tk.flush()
+		release()
 	}
-
-	var rec func(i int, curMax int64)
-	rec = func(i int, curMax int64) {
-		if st.stop() {
-			return
-		}
-		if curMax >= best {
-			return
-		}
-		if i == n {
-			best = curMax
-			copy(bestA, cur)
-			return
-		}
-		lb := (total + suffix[i] + int64(p) - 1) / int64(p)
-		if lb >= best {
-			return
-		}
-		t := order[i]
-		for _, e := range h.TaskEdges(t) {
-			w := h.Weight[e]
-			procs := h.EdgeProcs(e)
-			nm := curMax
-			for _, u := range procs {
-				loads[u] += w
-				if loads[u] > nm {
-					nm = loads[u]
-				}
-			}
-			total += cost[e]
-			cur[t] = e
-			rec(i+1, nm)
-			for _, u := range procs {
-				loads[u] -= w
-			}
-			total -= cost[e]
-		}
-	}
-	rec(0, 0)
-	notify() // flush the final incumbent to the observer
+	sh.observe() // flush the final incumbent to the observer
 	if opts.Stats != nil {
-		bound, wit := witnessFor(!st.stopped, (suffix[0]+int64(p)-1)/int64(p), maxElem, best)
-		*opts.Stats = SearchStats{Nodes: st.expanded, Workers: 1, Bound: bound, Witness: wit}
+		complete := sh.closed.Load() || (!sh.exhausted.Load() && !sh.cancelled.Load())
+		bound, wit := witnessFor(complete, pr.Bounds, sh.bestM)
+		*opts.Stats = SearchStats{Nodes: sh.nodes.Load(), Workers: 1, Bound: bound, Witness: wit}
 	}
-	return bestA, best, st.err(ctx)
+	return append(core.HyperAssignment(nil), sh.bestA...), sh.bestM, sh.err(ctx)
 }
 
 // SolveX3C decides Exact Cover by 3-Sets by depth-first search over the

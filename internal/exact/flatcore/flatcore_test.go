@@ -1,0 +1,434 @@
+package flatcore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"semimatch/internal/bipartite"
+	"semimatch/internal/hypergraph"
+)
+
+func randGraph(rng *rand.Rand, n, p, deg int, wmax int64) *bipartite.Graph {
+	b := bipartite.NewBuilder(n, p)
+	for t := 0; t < n; t++ {
+		perm := rng.Perm(p)
+		d := 1 + rng.Intn(deg)
+		if d > p {
+			d = p
+		}
+		for _, proc := range perm[:d] {
+			b.AddWeightedEdge(t, proc, 1+rng.Int63n(wmax))
+		}
+	}
+	return b.MustBuild()
+}
+
+func randHyper(rng *rand.Rand, n, p, deg, maxSize int, wmax int64) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(n, p)
+	for t := 0; t < n; t++ {
+		d := 1 + rng.Intn(deg)
+		for e := 0; e < d; e++ {
+			sz := 1 + rng.Intn(maxSize)
+			if sz > p {
+				sz = p
+			}
+			perm := rng.Perm(p)
+			b.AddEdge(t, perm[:sz], 1+rng.Int63n(wmax))
+		}
+	}
+	return b.MustBuild()
+}
+
+// bruteSP explores every assignment of the compiled shape below a given
+// prefix of child ordinals and returns the best completion makespan.
+func bruteSP(pr *SP, prefix []int32) int64 {
+	loads := make([]int64, pr.P)
+	var cur int64
+	for d, ord := range prefix {
+		k := int(pr.ChildPtr[d]) + int(ord)
+		loads[pr.ChildProc[k]] += pr.ChildWt[k]
+		if loads[pr.ChildProc[k]] > cur {
+			cur = loads[pr.ChildProc[k]]
+		}
+	}
+	best := int64(1) << 62
+	var rec func(i int, curMax int64)
+	rec = func(i int, curMax int64) {
+		if curMax >= best {
+			return
+		}
+		if i == pr.N {
+			best = curMax
+			return
+		}
+		for k := int(pr.ChildPtr[i]); k < int(pr.ChildPtr[i+1]); k++ {
+			proc, wt := pr.ChildProc[k], pr.ChildWt[k]
+			loads[proc] += wt
+			nm := curMax
+			if loads[proc] > nm {
+				nm = loads[proc]
+			}
+			rec(i+1, nm)
+			loads[proc] -= wt
+		}
+	}
+	rec(len(prefix), cur)
+	return best
+}
+
+// bruteMP is bruteSP for a compiled MULTIPROC shape.
+func bruteMP(pr *MP, prefix []int32) int64 {
+	loads := make([]int64, pr.P)
+	var cur int64
+	apply := func(k int, curMax int64) int64 {
+		e, w := pr.ChildEdge[k], pr.ChildWt[k]
+		for _, u := range pr.Pins[pr.PinPtr[e]:pr.PinPtr[e+1]] {
+			loads[u] += w
+			if loads[u] > curMax {
+				curMax = loads[u]
+			}
+		}
+		return curMax
+	}
+	undo := func(k int) {
+		e, w := pr.ChildEdge[k], pr.ChildWt[k]
+		for _, u := range pr.Pins[pr.PinPtr[e]:pr.PinPtr[e+1]] {
+			loads[u] -= w
+		}
+	}
+	for d, ord := range prefix {
+		cur = apply(int(pr.ChildPtr[d])+int(ord), cur)
+	}
+	best := int64(1) << 62
+	var rec func(i int, curMax int64)
+	rec = func(i int, curMax int64) {
+		if curMax >= best {
+			return
+		}
+		if i == pr.N {
+			best = curMax
+			return
+		}
+		for k := int(pr.ChildPtr[i]); k < int(pr.ChildPtr[i+1]); k++ {
+			nm := apply(k, curMax)
+			rec(i+1, nm)
+			undo(k)
+		}
+	}
+	rec(len(prefix), cur)
+	return best
+}
+
+// TestCompileSPInvariants: CSR structure, sort order, suffix bounds,
+// EqPrev correctness, and the root bound sandwich on random instances.
+func TestCompileSPInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		g := randGraph(rng, 3+rng.Intn(7), 2+rng.Intn(3), 3, 20)
+		pr := CompileSP(g)
+		if pr.N != g.NLeft || pr.P != g.NRight {
+			t.Fatal("dims")
+		}
+		seen := make([]bool, pr.N)
+		for i := 0; i < pr.N; i++ {
+			tsk := int(pr.Order[i])
+			seen[tsk] = true
+			base, end := int(pr.ChildPtr[i]), int(pr.ChildPtr[i+1])
+			if end-base != g.Degree(tsk) {
+				t.Fatalf("trial %d: position %d child count %d ≠ degree %d", trial, i, end-base, g.Degree(tsk))
+			}
+			for k := base + 1; k < end; k++ {
+				if pr.ChildWt[k] < pr.ChildWt[k-1] {
+					t.Fatalf("trial %d: children not weight-sorted at position %d", trial, i)
+				}
+			}
+			if pr.EqPrev[i] {
+				pb, pe := int(pr.ChildPtr[i-1]), int(pr.ChildPtr[i])
+				if pe-pb != end-base {
+					t.Fatalf("trial %d: EqPrev with unequal degrees", trial)
+				}
+				for k := 0; k < end-base; k++ {
+					if pr.ChildProc[pb+k] != pr.ChildProc[base+k] || pr.ChildWt[pb+k] != pr.ChildWt[base+k] {
+						t.Fatalf("trial %d: EqPrev with differing child lists", trial)
+					}
+				}
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				t.Fatalf("trial %d: Order is not a permutation", trial)
+			}
+		}
+		// Suffix arrays.
+		var sum int64
+		for i := pr.N - 1; i >= 0; i-- {
+			sum += pr.ChildWt[pr.ChildPtr[i]]
+			if pr.SuffixAvg[i] != sum {
+				t.Fatalf("trial %d: SuffixAvg[%d] = %d, want %d", trial, i, pr.SuffixAvg[i], sum)
+			}
+		}
+		// Bound sandwich: every root bound is ≤ the optimum, and Root()
+		// is at least the classic bounds.
+		opt := bruteSP(pr, nil)
+		for _, b := range []int64{pr.Bounds.Avg, pr.Bounds.MaxElem, pr.Bounds.Pack, pr.Bounds.Match} {
+			if b > opt {
+				t.Fatalf("trial %d: root bound %d exceeds optimum %d (%+v)", trial, b, opt, pr.Bounds)
+			}
+		}
+		if pr.Bounds.Root() < pr.Bounds.Avg || pr.Bounds.Root() < pr.Bounds.MaxElem {
+			t.Fatalf("trial %d: Root() below a component", trial)
+		}
+	}
+}
+
+// TestCompileMPInvariants: same structural checks for the hypergraph
+// shape, plus pin bitsets matching the pin lists.
+func TestCompileMPInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		h := randHyper(rng, 3+rng.Intn(6), 2+rng.Intn(3), 3, 2, 20)
+		pr := CompileMP(h)
+		for i := 0; i < pr.N; i++ {
+			tsk := int(pr.Order[i])
+			base, end := int(pr.ChildPtr[i]), int(pr.ChildPtr[i+1])
+			if end-base != h.TaskDegree(tsk) {
+				t.Fatalf("trial %d: position %d child count mismatch", trial, i)
+			}
+			for k := base; k < end; k++ {
+				e := pr.ChildEdge[k]
+				if pr.ChildWt[k] != h.Weight[e] || pr.ChildCost[k] != h.Weight[e]*int64(h.EdgeSize(e)) {
+					t.Fatalf("trial %d: child weight/cost mismatch", trial)
+				}
+				if k > base && pr.ChildCost[k] < pr.ChildCost[k-1] {
+					t.Fatalf("trial %d: children not cost-sorted", trial)
+				}
+				bits := Bitset(pr.PinBits[int(e)*pr.PinWords : (int(e)+1)*pr.PinWords])
+				n := 0
+				for _, u := range h.EdgeProcs(e) {
+					if !bits.Has(u) {
+						t.Fatalf("trial %d: pin bit missing", trial)
+					}
+					n++
+				}
+				pop := 0
+				for _, w := range bits {
+					for ; w != 0; w &= w - 1 {
+						pop++
+					}
+				}
+				if pop != n {
+					t.Fatalf("trial %d: pin bitset popcount %d ≠ %d", trial, pop, n)
+				}
+			}
+			if pr.EqPrev[i] {
+				pb := int(pr.ChildPtr[i-1])
+				for k := 0; k < end-base; k++ {
+					ea, eb := pr.ChildEdge[pb+k], pr.ChildEdge[base+k]
+					if h.Weight[ea] != h.Weight[eb] {
+						t.Fatalf("trial %d: EqPrev weight mismatch", trial)
+					}
+					wa := pr.PinBits[int(ea)*pr.PinWords : (int(ea)+1)*pr.PinWords]
+					wb := pr.PinBits[int(eb)*pr.PinWords : (int(eb)+1)*pr.PinWords]
+					if !EqualWords(wa, wb) {
+						t.Fatalf("trial %d: EqPrev pin-set mismatch", trial)
+					}
+				}
+			}
+		}
+		opt := bruteMP(pr, nil)
+		for _, b := range []int64{pr.Bounds.Avg, pr.Bounds.MaxElem, pr.Bounds.Pack, pr.Bounds.Match} {
+			if b > opt {
+				t.Fatalf("trial %d: root bound %d exceeds optimum %d (%+v)", trial, b, opt, pr.Bounds)
+			}
+		}
+	}
+}
+
+// TestSPSigRows: processors sharing a signature must have identical
+// (task, weight) incidence rows — the definition of the automorphism.
+func TestSPSigRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		// Low weight spread so identical rows actually occur.
+		g := randGraph(rng, 4+rng.Intn(5), 2+rng.Intn(3), 3, 2)
+		pr := CompileSP(g)
+		if pr.Sig == nil {
+			continue
+		}
+		for a := 0; a < pr.P; a++ {
+			for b := a + 1; b < pr.P; b++ {
+				if pr.Sig[a] < 0 || pr.Sig[a] != pr.Sig[b] {
+					continue
+				}
+				for tsk := 0; tsk < g.NLeft; tsk++ {
+					var wa, wb int64 = -1, -1
+					row := g.Neighbors(tsk)
+					w := g.Weights(tsk)
+					for k, proc := range row {
+						wt := int64(1)
+						if w != nil {
+							wt = w[k]
+						}
+						if int(proc) == a {
+							wa = wt
+						}
+						if int(proc) == b {
+							wb = wt
+						}
+					}
+					if wa != wb {
+						t.Fatalf("trial %d: procs %d,%d share sig but task %d weights differ (%d vs %d)", trial, a, b, tsk, wa, wb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMPSigAutomorphism: for every pair of processors sharing a
+// signature, transposing them must map the edge multiset onto itself —
+// checked directly against the hypergraph.
+func TestMPSigAutomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		h := randHyper(rng, 4+rng.Intn(5), 2+rng.Intn(3), 2, 2, 2)
+		pr := CompileMP(h)
+		if pr.Sig == nil {
+			continue
+		}
+		type key struct {
+			owner int32
+			w     int64
+			pins  string
+		}
+		multiset := func(swap func(int32) int32) map[key]int {
+			m := map[key]int{}
+			for e := 0; e < h.NumEdges(); e++ {
+				pins := append([]int32(nil), h.EdgeProcs(int32(e))...)
+				for i := range pins {
+					pins[i] = swap(pins[i])
+				}
+				sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
+				s := ""
+				for _, u := range pins {
+					s += string(rune(u)) + ","
+				}
+				m[key{h.Owner[e], h.Weight[e], s}]++
+			}
+			return m
+		}
+		ident := multiset(func(u int32) int32 { return u })
+		for a := int32(0); a < int32(pr.P); a++ {
+			for b := a + 1; b < int32(pr.P); b++ {
+				if pr.Sig[a] < 0 || pr.Sig[a] != pr.Sig[b] {
+					continue
+				}
+				swapped := multiset(func(u int32) int32 {
+					switch u {
+					case a:
+						return b
+					case b:
+						return a
+					}
+					return u
+				})
+				if len(swapped) != len(ident) {
+					t.Fatalf("trial %d: swap (%d %d) changes edge multiset", trial, a, b)
+				}
+				for k, c := range ident {
+					if swapped[k] != c {
+						t.Fatalf("trial %d: swap (%d %d) changes edge multiset at %+v", trial, a, b, k)
+					}
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no symmetric pairs generated")
+	}
+}
+
+// TestCompletePruneSound: whenever CompletePrune fires at a random
+// interior node, brute-force completion confirms the subtree really
+// cannot beat the incumbent bound.
+func TestCompletePruneSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fired := 0
+	for trial := 0; trial < 80; trial++ {
+		g := randGraph(rng, 4+rng.Intn(5), 2+rng.Intn(3), 3, 20)
+		pr := CompileSP(g)
+		from := rng.Intn(pr.N)
+		prefix := make([]int32, from)
+		loads := make([]int64, pr.P)
+		for d := 0; d < from; d++ {
+			deg := int(pr.ChildPtr[d+1] - pr.ChildPtr[d])
+			ord := int32(rng.Intn(deg))
+			prefix[d] = ord
+			k := int(pr.ChildPtr[d]) + int(ord)
+			loads[pr.ChildProc[k]] += pr.ChildWt[k]
+		}
+		opt := bruteSP(pr, prefix)
+		// A prune at best = opt must never fire (opt-1 < opt is sound to
+		// rule out... the completion achieving opt must remain); a prune
+		// at best = opt is claiming nothing < opt exists — true. At
+		// best = opt+1 the claim "nothing < opt+1" is false.
+		if pr.CompletePrune(loads, from, opt) {
+			fired++
+		}
+		if pr.CompletePrune(loads, from, opt+1) {
+			t.Fatalf("trial %d: SP CompletePrune fired although completion %d < best %d exists", trial, opt, opt+1)
+		}
+
+		h := randHyper(rng, 4+rng.Intn(4), 2+rng.Intn(3), 2, 2, 15)
+		mpr := CompileMP(h)
+		mfrom := rng.Intn(mpr.N)
+		mprefix := make([]int32, mfrom)
+		mloads := make([]int64, mpr.P)
+		for d := 0; d < mfrom; d++ {
+			deg := int(mpr.ChildPtr[d+1] - mpr.ChildPtr[d])
+			ord := int32(rng.Intn(deg))
+			mprefix[d] = ord
+			k := int(mpr.ChildPtr[d]) + int(ord)
+			e, w := mpr.ChildEdge[k], mpr.ChildWt[k]
+			for _, u := range mpr.Pins[mpr.PinPtr[e]:mpr.PinPtr[e+1]] {
+				mloads[u] += w
+			}
+		}
+		mopt := bruteMP(mpr, mprefix)
+		if mpr.CompletePrune(mloads, mfrom, mopt) {
+			fired++
+		}
+		if mpr.CompletePrune(mloads, mfrom, mopt+1) {
+			t.Fatalf("trial %d: MP CompletePrune fired although completion %d < best %d exists", trial, mopt, mopt+1)
+		}
+	}
+	t.Logf("prune fired on %d exact-threshold probes", fired)
+}
+
+// TestBitset: basic bit operations.
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int32{0, 63, 64, 127, 129} {
+		if b.Has(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Has(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Has(1) || b.Has(128) {
+		t.Fatal("stray bit")
+	}
+	c := NewBitset(130)
+	if EqualWords(b, c) {
+		t.Fatal("unequal bitsets compare equal")
+	}
+	copy(c, b)
+	if !EqualWords(b, c) {
+		t.Fatal("equal bitsets compare unequal")
+	}
+}

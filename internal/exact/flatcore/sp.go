@@ -1,0 +1,337 @@
+package flatcore
+
+import (
+	"sort"
+
+	"semimatch/internal/bipartite"
+	"semimatch/internal/flow"
+	"semimatch/internal/lb"
+)
+
+// SP is the compiled shape of one SINGLEPROC search: flat CSR child
+// arrays, branch order, suffix bounds, symmetry/dominance tables, and
+// the root bound set. Immutable after CompileSP; shared read-only by all
+// workers. Every task must have at least one eligible processor (the
+// engines validate before compiling).
+type SP struct {
+	N, P int
+	// Order is the branch order: position → task. Tasks with fewest
+	// eligible processors come first; ties are broken by child-list
+	// content so interchangeable tasks sit adjacent (EqPrev needs that),
+	// then by task id for determinism.
+	Order []int32
+	// ChildPtr/ChildProc/ChildWt are the CSR child arrays: position i's
+	// candidate placements are ChildProc[ChildPtr[i]:ChildPtr[i+1]],
+	// sorted cheapest weight first (ties by processor id).
+	ChildPtr  []int32
+	ChildProc []int32
+	ChildWt   []int64
+	// Sig groups interchangeable processors (verified automorphisms); -1
+	// marks processors with no symmetric partner. nil when the instance
+	// has no symmetry at all.
+	Sig []int32
+	// ChildClass, parallel to ChildProc, is the static symmetry class of
+	// each child within its position: two children of one position share
+	// a class iff they place the same weight on processors of the same
+	// symmetry group. -1 marks children with no statically symmetric
+	// sibling. nil when Sig is nil.
+	ChildClass []int16
+	// EqPrev[i] reports that position i's task has a child list
+	// identical to position i-1's task (same processors, same weights):
+	// the two tasks are interchangeable, and the engine prunes branches
+	// where position i picks a smaller child ordinal than position i-1.
+	EqPrev []bool
+	// SuffixAvg[i] = Σ_{j≥i} cheapest weight of position j (average-load
+	// numerator); SuffixMax[i] = max_{j≥i} cheapest weight (max-element).
+	SuffixAvg []int64
+	SuffixMax []int64
+	// Bounds is the root lower-bound set; Root() is the strongest.
+	Bounds Bounds
+	// UseFlow enables the completion prune (CompletePrune) at subproblem
+	// expansions; MinLoadScan enables the per-node min-load refinement.
+	UseFlow     bool
+	MinLoadScan bool
+}
+
+// CompileSP compiles g into its flat search shape.
+func CompileSP(g *bipartite.Graph) *SP {
+	n, p := g.NLeft, g.NRight
+	pr := &SP{N: n, P: p}
+
+	// Per-task child lists sorted by (weight, processor). Rows are built
+	// sorted by processor, so a stable sort on weight gives that order.
+	chProc := make([][]int32, n)
+	chWt := make([][]int64, n)
+	for t := 0; t < n; t++ {
+		row := g.Neighbors(t)
+		w := g.Weights(t)
+		procs := append([]int32(nil), row...)
+		wts := make([]int64, len(row))
+		for k := range wts {
+			if w != nil {
+				wts[k] = w[k]
+			} else {
+				wts[k] = 1
+			}
+		}
+		idx := make([]int, len(row))
+		for k := range idx {
+			idx[k] = k
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if wts[idx[a]] != wts[idx[b]] {
+				return wts[idx[a]] < wts[idx[b]]
+			}
+			return procs[idx[a]] < procs[idx[b]]
+		})
+		sp := make([]int32, len(row))
+		sw := make([]int64, len(row))
+		for k, j := range idx {
+			sp[k], sw[k] = procs[j], wts[j]
+		}
+		chProc[t], chWt[t] = sp, sw
+	}
+
+	// cmpTasks orders tasks by (degree, child-list content): 0 means the
+	// two tasks have identical (weight, processor) child lists and are
+	// interchangeable. Within equal degree, heavier child lists come first
+	// (LPT-style): constrained-then-heaviest branch order finds tight
+	// incumbents early and fails high subtrees fast.
+	cmpTasks := func(a, b int32) int {
+		pa, pb := chProc[a], chProc[b]
+		if len(pa) != len(pb) {
+			return len(pa) - len(pb)
+		}
+		wa, wb := chWt[a], chWt[b]
+		for k := range pa {
+			if wa[k] != wb[k] {
+				if wa[k] > wb[k] {
+					return -1
+				}
+				return 1
+			}
+			if pa[k] != pb[k] {
+				return int(pa[k]) - int(pb[k])
+			}
+		}
+		return 0
+	}
+	pr.Order = make([]int32, n)
+	for i := range pr.Order {
+		pr.Order[i] = int32(i)
+	}
+	sort.SliceStable(pr.Order, func(i, j int) bool {
+		if c := cmpTasks(pr.Order[i], pr.Order[j]); c != 0 {
+			return c < 0
+		}
+		return pr.Order[i] < pr.Order[j]
+	})
+
+	// Flatten into CSR arrays; detect adjacent interchangeable tasks.
+	pr.ChildPtr = make([]int32, n+1)
+	pr.EqPrev = make([]bool, n)
+	total := 0
+	for i, t := range pr.Order {
+		pr.ChildPtr[i] = int32(total)
+		total += len(chProc[t])
+		pr.EqPrev[i] = i > 0 && cmpTasks(pr.Order[i-1], t) == 0
+	}
+	pr.ChildPtr[n] = int32(total)
+	pr.ChildProc = make([]int32, total)
+	pr.ChildWt = make([]int64, total)
+	for i, t := range pr.Order {
+		copy(pr.ChildProc[pr.ChildPtr[i]:], chProc[t])
+		copy(pr.ChildWt[pr.ChildPtr[i]:], chWt[t])
+	}
+
+	pr.SuffixAvg = make([]int64, n+1)
+	pr.SuffixMax = make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		minC := pr.ChildWt[pr.ChildPtr[i]] // children sorted by weight
+		pr.SuffixAvg[i] = pr.SuffixAvg[i+1] + minC
+		pr.SuffixMax[i] = pr.SuffixMax[i+1]
+		if minC > pr.SuffixMax[i] {
+			pr.SuffixMax[i] = minC
+		}
+	}
+
+	pr.Sig = spProcSig(g)
+	if pr.Sig != nil {
+		pr.ChildClass = spChildClasses(pr)
+	}
+
+	if n > 0 && p > 0 {
+		items := make([]int64, n)
+		for i := range items {
+			items[i] = pr.ChildWt[pr.ChildPtr[i]]
+		}
+		pr.Bounds = Bounds{
+			Avg:     (pr.SuffixAvg[0] + int64(p) - 1) / int64(p),
+			MaxElem: pr.SuffixMax[0],
+			Pack:    lb.Packing(items, p),
+		}
+		if n <= MatchCap {
+			pr.Bounds.Match = lb.MatchingGraph(g)
+		}
+	}
+	pr.UseFlow = n > 0 && n <= MatchCap
+	pr.MinLoadScan = p > 1 && p <= MinLoadCap
+	return pr
+}
+
+// spProcSig groups processors with identical (task, weight) incidence
+// rows: swapping two such processors is an automorphism of the instance.
+// Returns nil when no group has two members. Sort-based: processors are
+// ordered by their reverse-graph rows (already canonical — tasks
+// ascending) and equal runs become groups.
+func spProcSig(g *bipartite.Graph) []int32 {
+	p := g.NRight
+	if p < 2 {
+		return nil
+	}
+	rev := g.Reverse()
+	cmp := func(a, b int32) int {
+		ra, rb := rev.Neighbors(int(a)), rev.Neighbors(int(b))
+		if len(ra) != len(rb) {
+			return len(ra) - len(rb)
+		}
+		wa, wb := rev.Weights(int(a)), rev.Weights(int(b))
+		for k := range ra {
+			if ra[k] != rb[k] {
+				return int(ra[k]) - int(rb[k])
+			}
+			if wa != nil && wa[k] != wb[k] {
+				if wa[k] < wb[k] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	idx := make([]int32, p)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		if c := cmp(idx[i], idx[j]); c != 0 {
+			return c < 0
+		}
+		return idx[i] < idx[j]
+	})
+	sig := make([]int32, p)
+	for i := range sig {
+		sig[i] = -1
+	}
+	id := int32(0)
+	any := false
+	for lo := 0; lo < p; {
+		hi := lo + 1
+		for hi < p && cmp(idx[lo], idx[hi]) == 0 {
+			hi++
+		}
+		if hi-lo >= 2 {
+			any = true
+			for _, u := range idx[lo:hi] {
+				sig[u] = id
+			}
+			id++
+		}
+		lo = hi
+	}
+	if !any {
+		return nil
+	}
+	return sig
+}
+
+// spChildClasses assigns, per position, symmetry classes over the
+// (processor group, weight) keys of its children — sort-based grouping
+// over a per-position scratch, classes with fewer than two members
+// demoted to -1.
+func spChildClasses(pr *SP) []int16 {
+	cls := make([]int16, len(pr.ChildProc))
+	var scratch []int32
+	for i := 0; i < pr.N; i++ {
+		base, end := int(pr.ChildPtr[i]), int(pr.ChildPtr[i+1])
+		scratch = scratch[:0]
+		for k := base; k < end; k++ {
+			cls[k] = -1
+			if pr.Sig[pr.ChildProc[k]] >= 0 {
+				scratch = append(scratch, int32(k))
+			}
+		}
+		// Children are weight-sorted already; order the grouped subset by
+		// (group, weight) and cut it into equal runs.
+		sort.Slice(scratch, func(a, b int) bool {
+			ka, kb := scratch[a], scratch[b]
+			sa, sb := pr.Sig[pr.ChildProc[ka]], pr.Sig[pr.ChildProc[kb]]
+			if sa != sb {
+				return sa < sb
+			}
+			return pr.ChildWt[ka] < pr.ChildWt[kb]
+		})
+		next := int16(0)
+		for lo := 0; lo < len(scratch); {
+			hi := lo + 1
+			for hi < len(scratch) &&
+				pr.Sig[pr.ChildProc[scratch[hi]]] == pr.Sig[pr.ChildProc[scratch[lo]]] &&
+				pr.ChildWt[scratch[hi]] == pr.ChildWt[scratch[lo]] {
+				hi++
+			}
+			if hi-lo >= 2 {
+				for _, k := range scratch[lo:hi] {
+					cls[k] = next
+				}
+				next++
+			}
+			lo = hi
+		}
+	}
+	return cls
+}
+
+// CompletePrune reports whether no completion of positions from..N-1 on
+// top of the given loads can reach makespan < best: with deadline
+// T = best-1, every remaining task must route its cheapest placement
+// weight through an edge that still fits (w + load ≤ T) into processors
+// with residual capacity T - load. Infeasibility of that flow proves the
+// subtree cannot improve the incumbent. Sound for any node; the engines
+// call it at subproblem expansions only, keeping the per-node loop
+// flow-free.
+func (pr *SP) CompletePrune(loads []int64, from int, best int64) bool {
+	T := best - 1
+	if T < 0 {
+		return false
+	}
+	n := pr.N - from
+	if n <= 0 {
+		return false
+	}
+	net := flow.NewNetwork(n + pr.P + 2)
+	s, t := n+pr.P, n+pr.P+1
+	var want int64
+	for j := 0; j < n; j++ {
+		pos := from + j
+		m := pr.ChildWt[pr.ChildPtr[pos]]
+		net.AddArc(s, j, m)
+		want += m
+		any := false
+		for k := pr.ChildPtr[pos]; k < pr.ChildPtr[pos+1]; k++ {
+			proc := pr.ChildProc[k]
+			if pr.ChildWt[k]+loads[proc] <= T {
+				net.AddArc(j, n+int(proc), m)
+				any = true
+			}
+		}
+		if !any {
+			return true // no placement of this task fits under T at all
+		}
+	}
+	for proc := 0; proc < pr.P; proc++ {
+		if c := T - loads[proc]; c > 0 {
+			net.AddArc(n+proc, t, c)
+		}
+	}
+	return net.MaxFlow(s, t) != want
+}

@@ -1,47 +1,56 @@
 // Parallel branch-and-bound engine.
 //
-// The sequential solvers in exact.go explore one search tree on one
-// goroutine. The engine here splits the same tree at a shallow frontier
-// into independent subproblems (prefixes of branching choices), feeds them
-// to a work-stealing worker pool — each worker owns a deque and a private
-// loads/cur state, steals from a random victim when its deque runs dry,
-// and re-splits stolen subproblems one level so scarce work keeps
-// spreading — and shares the incumbent across workers through an atomic
-// best bound, so any worker's improvement immediately tightens every other
-// worker's pruning. Cancellation and the node budget fold into one shared
-// atomic stopper: the budget is claimed in blocks to keep the hot path off
-// the contended counter, and a watcher goroutine flips the stop flag when
-// the context ends.
+// One engine drives all four solvers. An instance is compiled once into
+// its flat search shape (internal/exact/flatcore): CSR child arrays,
+// bitset pin sets, suffix bounds, and symmetry/dominance tables. The
+// sequential solvers in exact.go run the same state machine on one
+// goroutine with an unbounded chunk; the engine here splits the tree at a
+// shallow frontier into independent subproblems (prefixes of branching
+// choices), feeds them to a work-stealing worker pool — each worker owns a
+// deque and a private loads/cur state, steals from a random victim when
+// its deque runs dry, and re-splits stolen subproblems one level so scarce
+// work keeps spreading — and shares the incumbent across workers through
+// an atomic best bound, so any worker's improvement immediately tightens
+// every other worker's pruning. Cancellation and the node budget fold into
+// one shared atomic stopper: the budget is claimed in blocks to keep the
+// hot path off the contended counter, and a watcher goroutine flips the
+// stop flag when the context ends.
 //
-// The engine also carries stronger prunes than the sequential solvers:
+// The prune hierarchy, cheapest first:
 //
-//   - cheapest-cost child ordering: each task's configurations are tried
-//     cheapest first, which finds good incumbents early;
-//   - a max-element lower bound: some processor must absorb the cheapest
-//     placement of the heaviest remaining task, alongside the existing
-//     average-load bound;
-//   - symmetry breaking over interchangeable processors: processors whose
-//     transposition is a verified automorphism of the instance are
-//     grouped, and among a node's children only one representative per
-//     (weight, group, current-load) signature is branched on.
+//   - per node (integer arithmetic on flat arrays only, no allocation):
+//     the incumbent bound, the average-load bound, the max-element bound,
+//     and — on few-processor instances — the min-load refinement
+//     (min current load + heaviest remaining placement);
+//   - per child: symmetry dedup over interchangeable processors and the
+//     dominance rule over interchangeable tasks (EqPrev: adjacent
+//     positions with identical child lists branch with non-decreasing
+//     child ordinals);
+//   - per subproblem expansion: the completion prune — a max-flow
+//     feasibility check that every remaining task can still route its
+//     cheapest placement under deadline best-1 (flatcore.CompletePrune);
+//   - at the root: the strong bin-packing and matching bounds
+//     (internal/lb). The search closes the moment the incumbent meets the
+//     strongest root bound — including before any node is expanded.
 //
 // Exactness is preserved: symmetry groups come from exact transposition
-// checks (never hashes), so a skipped child's subtree is isomorphic to an
-// explored sibling's.
+// checks (never hashes), and every symmetry/dominance prune discards an
+// assignment only when an equal-makespan, lexicographically smaller
+// equivalent survives, so the lex-min optimal assignment is always
+// explored.
 package exact
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"semimatch/internal/bipartite"
 	"semimatch/internal/core"
+	"semimatch/internal/exact/flatcore"
 	"semimatch/internal/hypergraph"
 )
 
@@ -62,11 +71,6 @@ const (
 	// huge subtree while a subproblem holding the optimum waits in a
 	// queue, which matters whenever subproblems outnumber workers.
 	chunkNodes = 32 * 1024
-	// symProcCap / symEdgeCap gate the MULTIPROC symmetry detection: the
-	// pairwise transposition verification is quadratic in group size, so
-	// it only runs at exact-solver instance scales.
-	symProcCap = 512
-	symEdgeCap = 8192
 )
 
 // parShared is the cross-worker state of one parallel solve.
@@ -77,6 +81,8 @@ type parShared struct {
 	stop      atomic.Bool
 	exhausted atomic.Bool
 	cancelled atomic.Bool
+	closed    atomic.Bool  // incumbent met rootLB: proven optimal, search over
+	rootLB    int64        // strongest root lower bound (flatcore.Bounds.Root)
 	nodes     atomic.Int64 // nodes expanded (flushed per worker)
 	steals    atomic.Int64
 	splits    atomic.Int64
@@ -149,7 +155,8 @@ func newParShared(incumbent []int32, m int64, maxNodes int64, workers int) *parS
 // mutex-guarded assignment are reconciled by bestM: concurrent improvers
 // may interleave their CAS and their copy, but only a strictly better
 // makespan ever overwrites bestA, so bestA always matches bestM and bestM
-// converges to the minimum offered.
+// converges to the minimum offered. An incumbent meeting the root lower
+// bound closes the whole search: nothing better can exist.
 func (sh *parShared) offer(m int64, a []int32) {
 	for {
 		cur := sh.best.Load()
@@ -166,6 +173,20 @@ func (sh *parShared) offer(m int64, a []int32) {
 		copy(sh.bestA, a)
 	}
 	sh.mu.Unlock()
+	if m <= sh.rootLB {
+		sh.closed.Store(true)
+		sh.stop.Store(true)
+	}
+}
+
+// closeIfOptimal closes the search before it starts when the initial
+// (greedy) incumbent already meets the root lower bound — the strong
+// packing/matching bounds make this a common exit on easy instances.
+func (sh *parShared) closeIfOptimal() {
+	if sh.bestM <= sh.rootLB {
+		sh.closed.Store(true)
+		sh.stop.Store(true)
+	}
 }
 
 // claimBlock takes up to budgetBlock nodes from the shared budget,
@@ -189,6 +210,11 @@ func (sh *parShared) claimBlock() int64 {
 }
 
 func (sh *parShared) err(ctx context.Context) error {
+	if sh.closed.Load() {
+		// The incumbent met the root lower bound: the result is proven
+		// optimal no matter why the stop flag is also set.
+		return nil
+	}
 	if sh.cancelled.Load() {
 		return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
 	}
@@ -294,9 +320,9 @@ func (x *xorshift) next() uint64 {
 // worker-local mutable state; the pool creates one per worker. Dispatch is
 // per subproblem, never per node.
 type parSearcher interface {
-	// run replays prefix and explores its subtree for up to chunkNodes
-	// nodes. A nil return means the subtree is exhausted (or the search
-	// stopped); otherwise it returns continuation prefixes covering
+	// run replays prefix and explores its subtree for up to the state's
+	// chunk limit. A nil return means the subtree is exhausted (or the
+	// search stopped); otherwise it returns continuation prefixes covering
 	// exactly the unexplored remainder, for requeueing.
 	run(prefix []int32, tk *ticker) [][]int32
 	// expand replays prefix and returns its surviving child choices
@@ -464,257 +490,136 @@ func watchCancel(ctx context.Context, sh *parShared) (release func()) {
 
 // --- SINGLEPROC ---
 
-// spProblem is the immutable, preprocessed shape of one SINGLEPROC search,
-// shared read-only by all workers.
-type spProblem struct {
-	g    *bipartite.Graph
-	n, p int
-	// order is the branch order (fewest eligible processors first);
-	// childProc/childWt list position i's candidate processors cheapest
-	// edge first.
-	order     []int32
-	childProc [][]int32
-	childWt   [][]int64
-	// suffixAvg[i] = Σ_{j≥i} min-cost of order[j]: the average-load bound.
-	suffixAvg []int64
-	// suffixMax[i] = max_{j≥i} min-cost of order[j]: the max-element
-	// bound — the heaviest remaining task lands whole on some processor.
-	suffixMax []int64
-	// sig groups interchangeable processors (verified automorphisms); -1
-	// marks processors with no symmetric partner. nil when the instance
-	// has no symmetry at all.
-	sig []int32
-	// childClass[i][k] is the static symmetry class of child k at
-	// position i: two children share a class iff they place the same
-	// weight on processors of the same symmetry group, so they are
-	// interchangeable whenever their current loads coincide. -1 marks
-	// children with no statically symmetric sibling, which keeps the
-	// per-node check to one integer compare in the common case. nil when
-	// sig is nil.
-	childClass [][]int16
-}
-
-func newSPProblem(g *bipartite.Graph) *spProblem {
-	n, p := g.NLeft, g.NRight
-	pr := &spProblem{g: g, n: n, p: p}
-	pr.order = make([]int32, n)
-	for i := range pr.order {
-		pr.order[i] = int32(i)
-	}
-	sort.SliceStable(pr.order, func(i, j int) bool {
-		return g.Degree(int(pr.order[i])) < g.Degree(int(pr.order[j]))
-	})
-
-	pr.childProc = make([][]int32, n)
-	pr.childWt = make([][]int64, n)
-	for i, t := range pr.order {
-		row := g.Neighbors(int(t))
-		w := g.Weights(int(t))
-		procs := append([]int32(nil), row...)
-		wts := make([]int64, len(row))
-		for k := range wts {
-			if w != nil {
-				wts[k] = w[k]
-			} else {
-				wts[k] = 1
-			}
-		}
-		// Cheapest edge first: early incumbents tighten the shared bound
-		// for everyone. Stable on the original adjacency order.
-		idx := make([]int, len(row))
-		for k := range idx {
-			idx[k] = k
-		}
-		sort.SliceStable(idx, func(a, b int) bool { return wts[idx[a]] < wts[idx[b]] })
-		sp, sw := make([]int32, len(row)), make([]int64, len(row))
-		for k, j := range idx {
-			sp[k], sw[k] = procs[j], wts[j]
-		}
-		pr.childProc[i], pr.childWt[i] = sp, sw
-	}
-
-	pr.suffixAvg = make([]int64, n+1)
-	pr.suffixMax = make([]int64, n+1)
-	for i := n - 1; i >= 0; i-- {
-		minC := pr.childWt[i][0] // children sorted by weight
-		pr.suffixAvg[i] = pr.suffixAvg[i+1] + minC
-		pr.suffixMax[i] = pr.suffixMax[i+1]
-		if minC > pr.suffixMax[i] {
-			pr.suffixMax[i] = minC
-		}
-	}
-
-	pr.sig = spProcGroups(g)
-	if pr.sig != nil {
-		pr.childClass = make([][]int16, n)
-		for i := range pr.childProc {
-			procs, wts := pr.childProc[i], pr.childWt[i]
-			cls := make([]int16, len(procs))
-			type key struct {
-				sig int32
-				wt  int64
-			}
-			seen := map[key]int16{}
-			next := int16(0)
-			for k, p := range procs {
-				cls[k] = -1
-				if pr.sig[p] < 0 {
-					continue
-				}
-				kk := key{pr.sig[p], wts[k]}
-				if id, ok := seen[kk]; ok {
-					cls[k] = id
-				} else {
-					seen[kk] = next
-					cls[k] = next
-					next++
-				}
-			}
-			// Demote classes with a single member: no sibling to
-			// deduplicate against.
-			count := map[int16]int{}
-			for _, c := range cls {
-				if c >= 0 {
-					count[c]++
-				}
-			}
-			for k, c := range cls {
-				if c >= 0 && count[c] < 2 {
-					cls[k] = -1
-				}
-			}
-			pr.childClass[i] = cls
-		}
-	}
-	return pr
-}
-
-// spProcGroups groups processors with identical (task, weight) incidence
-// rows: swapping two such processors is an automorphism of the instance.
-// Returns nil when no group has two members.
-func spProcGroups(g *bipartite.Graph) []int32 {
-	enc := make([][]byte, g.NRight)
-	var buf [2 * binary.MaxVarintLen64]byte
-	for t := 0; t < g.NLeft; t++ {
-		row := g.Neighbors(t)
-		w := g.Weights(t)
-		for k, p := range row {
-			wt := int64(1)
-			if w != nil {
-				wt = w[k]
-			}
-			// Tasks are visited in ascending order, so each processor's
-			// encoding is already canonical.
-			m := binary.PutVarint(buf[:], int64(t))
-			m += binary.PutVarint(buf[m:], wt)
-			enc[p] = append(enc[p], buf[:m]...)
-		}
-	}
-	groups := map[string][]int32{}
-	for p := range enc {
-		k := string(enc[p])
-		groups[k] = append(groups[k], int32(p))
-	}
-	sig := make([]int32, g.NRight)
-	for i := range sig {
-		sig[i] = -1
-	}
-	id := int32(0)
-	any := false
-	for _, members := range groups {
-		if len(members) < 2 {
-			continue
-		}
-		any = true
-		for _, p := range members {
-			sig[p] = id
-		}
-		id++
-	}
-	if !any {
-		return nil
-	}
-	return sig
-}
-
-// spState is one worker's mutable search state.
+// spState is one worker's mutable SINGLEPROC search state over the shared
+// compiled shape. Everything the hot loop touches is a flat array sized at
+// construction; node expansion allocates nothing.
 type spState struct {
-	pr    *spProblem
+	pr    *flatcore.SP
 	sh    *parShared
 	loads []int64
 	cur   []int32
 	total int64
+	// chosen[i] is the child ordinal applied at position i (replayed
+	// prefix or live DFS); the dominance rule reads chosen[i-1].
+	chosen []int32
 	// ords/entry are the explicit DFS stack scratch: the child ordinal
 	// applied at each depth, and the partial makespan at each node entry.
 	ords  []int32
 	entry []int64
+	// chunkLimit bounds one run() call's node count (chunkNodes in the
+	// pool; effectively unbounded for the sequential solvers).
+	chunkLimit int64
 }
 
-func newSPState(pr *spProblem, sh *parShared) *spState {
+func newSPState(pr *flatcore.SP, sh *parShared) *spState {
 	// cur needs no initialization: every position is written by replay or
 	// the DFS before a complete assignment is offered.
 	return &spState{
-		pr:    pr,
-		sh:    sh,
-		loads: make([]int64, pr.p),
-		cur:   make([]int32, pr.n),
-		ords:  make([]int32, pr.n),
-		entry: make([]int64, pr.n+1),
+		pr:         pr,
+		sh:         sh,
+		loads:      make([]int64, pr.P),
+		cur:        make([]int32, pr.N),
+		chosen:     make([]int32, pr.N),
+		ords:       make([]int32, pr.N),
+		entry:      make([]int64, pr.N+1),
+		chunkLimit: chunkNodes,
 	}
 }
 
-func (s *spState) depth() int { return s.pr.n }
+func (s *spState) depth() int { return s.pr.N }
 
-// replay rebuilds loads/cur/total from a choice prefix and returns the
-// partial makespan.
+// replay rebuilds loads/cur/chosen/total from a choice prefix and returns
+// the partial makespan.
 func (s *spState) replay(prefix []int32) int64 {
 	for i := range s.loads {
 		s.loads[i] = 0
 	}
 	s.total = 0
 	var curMax int64
+	pr := s.pr
 	for d, ord := range prefix {
-		proc := s.pr.childProc[d][ord]
-		wt := s.pr.childWt[d][ord]
+		k := int(pr.ChildPtr[d]) + int(ord)
+		proc, wt := pr.ChildProc[k], pr.ChildWt[k]
 		s.loads[proc] += wt
 		s.total += wt
 		if s.loads[proc] > curMax {
 			curMax = s.loads[proc]
 		}
-		s.cur[s.pr.order[d]] = proc
+		s.cur[pr.Order[d]] = proc
+		s.chosen[d] = ord
 	}
 	return curMax
 }
 
-// dupSibling reports whether child k of position i is symmetric to an
-// earlier sibling: same weight onto an interchangeable processor carrying
-// the same load. The earlier sibling's subtree is isomorphic, so this one
-// is redundant. Equality is transitive, so checking against all earlier
-// siblings (explored or themselves skipped) is sound.
-func (s *spState) dupSibling(i int, k int) bool {
-	cls := s.pr.childClass[i]
-	c := cls[k]
+// dupSibling reports whether the child at flat index base+k is symmetric
+// to an earlier sibling: same weight onto an interchangeable processor
+// carrying the same load. The earlier sibling's subtree is isomorphic, so
+// this one is redundant. Equality is transitive, so checking against all
+// earlier siblings (explored or themselves skipped) is sound.
+func (s *spState) dupSibling(base, k int) bool {
+	pr := s.pr
+	c := pr.ChildClass[base+k]
 	if c < 0 {
 		return false
 	}
-	procs := s.pr.childProc[i]
-	lk := s.loads[procs[k]]
+	lk := s.loads[pr.ChildProc[base+k]]
 	for k2 := 0; k2 < k; k2++ {
-		if cls[k2] == c && s.loads[procs[k2]] == lk {
+		if pr.ChildClass[base+k2] == c && s.loads[pr.ChildProc[base+k2]] == lk {
 			return true
 		}
 	}
 	return false
 }
 
+// bound reports whether position i's subtree can still beat the incumbent:
+// partial makespan, average-load on the remainder, max-element, and (on
+// few-processor instances) the min-load refinement — the heaviest
+// remaining placement must land on top of at least the lightest load.
 func (s *spState) bound(i int, curMax int64) bool {
 	best := s.sh.best.Load()
 	if curMax >= best {
 		return false
 	}
 	pr := s.pr
-	lb := (s.total + pr.suffixAvg[i] + int64(pr.p) - 1) / int64(pr.p)
-	return lb < best && pr.suffixMax[i] < best
+	if (s.total+pr.SuffixAvg[i]+int64(pr.P)-1)/int64(pr.P) >= best {
+		return false
+	}
+	if pr.SuffixMax[i] >= best {
+		return false
+	}
+	if pr.MinLoadScan {
+		minLoad := s.loads[0]
+		for _, l := range s.loads[1:] {
+			if l < minLoad {
+				minLoad = l
+			}
+		}
+		if minLoad+pr.SuffixMax[i] >= best {
+			return false
+		}
+	}
+	return true
+}
+
+// nextChild returns the first surviving child ordinal ≥ from at position
+// i (symmetry duplicates skipped, dominance floor applied), or -1.
+func (s *spState) nextChild(i, from int) int {
+	pr := s.pr
+	if pr.EqPrev[i] {
+		// Interchangeable with the previous task: only branch with a child
+		// ordinal ≥ its choice (the lex-min representative of the orbit).
+		if mo := int(s.chosen[i-1]); from < mo {
+			from = mo
+		}
+	}
+	base, end := int(pr.ChildPtr[i]), int(pr.ChildPtr[i+1])
+	for k := from; k < end-base; k++ {
+		if pr.ChildClass != nil && s.dupSibling(base, k) {
+			continue
+		}
+		return k
+	}
+	return -1
 }
 
 func (s *spState) expand(prefix []int32, tk *ticker) []int32 {
@@ -723,47 +628,37 @@ func (s *spState) expand(prefix []int32, tk *ticker) []int32 {
 	if tk.node() {
 		return nil
 	}
-	if i == s.pr.n {
+	if i == s.pr.N {
 		s.sh.offer(curMax, s.cur)
 		return nil
 	}
 	if !s.bound(i, curMax) {
 		return nil
 	}
+	// Expansions are rare (frontier generation and steal re-splits), so
+	// the strong completion prune is worth a max-flow here: can every
+	// remaining task still route its cheapest placement under best-1?
+	if s.pr.UseFlow && s.pr.CompletePrune(s.loads, i, s.sh.best.Load()) {
+		return nil
+	}
 	var out []int32
-	for k := range s.pr.childProc[i] {
-		if s.pr.sig != nil && s.dupSibling(i, k) {
-			continue
-		}
+	for k := s.nextChild(i, 0); k >= 0; k = s.nextChild(i, k+1) {
 		out = append(out, int32(k))
 	}
 	return out
 }
 
-// nextChild returns the first surviving child ordinal ≥ from at position
-// i (symmetry duplicates skipped), or -1.
-func (s *spState) nextChild(i, from int) int {
-	procs := s.pr.childProc[i]
-	for k := from; k < len(procs); k++ {
-		if s.pr.sig != nil && s.dupSibling(i, k) {
-			continue
-		}
-		return k
-	}
-	return -1
-}
-
-// run explores prefix's subtree for up to chunkNodes nodes with an
+// run explores prefix's subtree for up to chunkLimit nodes with an
 // explicit-stack DFS. On chunk exhaustion it suspends: the unexplored
 // remainder — the current node plus every untried sibling on the path —
 // is serialized into continuation prefixes and returned for requeueing.
 func (s *spState) run(prefix []int32, tk *ticker) [][]int32 {
 	pr := s.pr
 	base := len(prefix)
-	entry := s.entry[:pr.n-base+1]
-	ords := s.ords[:max(pr.n-base, 0)]
+	entry := s.entry[:pr.N-base+1]
+	ords := s.ords[:max(pr.N-base, 0)]
 	entry[0] = s.replay(prefix)
-	chunk := int64(chunkNodes)
+	chunk := s.chunkLimit
 	depth := 0
 	descend := true
 	for {
@@ -773,7 +668,7 @@ func (s *spState) run(prefix []int32, tk *ticker) [][]int32 {
 			}
 			chunk--
 			i := base + depth
-			if i == pr.n {
+			if i == pr.N {
 				s.sh.offer(entry[depth], s.cur)
 				descend = false
 				continue
@@ -815,10 +710,13 @@ func (s *spState) run(prefix []int32, tk *ticker) [][]int32 {
 // apply places child k of position i and returns the new partial
 // makespan.
 func (s *spState) apply(i, k int, curMax int64) int64 {
-	proc, wt := s.pr.childProc[i][k], s.pr.childWt[i][k]
+	pr := s.pr
+	kk := int(pr.ChildPtr[i]) + k
+	proc, wt := pr.ChildProc[kk], pr.ChildWt[kk]
 	s.loads[proc] += wt
 	s.total += wt
-	s.cur[s.pr.order[i]] = proc
+	s.cur[pr.Order[i]] = proc
+	s.chosen[i] = int32(k)
 	if s.loads[proc] > curMax {
 		return s.loads[proc]
 	}
@@ -826,9 +724,10 @@ func (s *spState) apply(i, k int, curMax int64) int64 {
 }
 
 func (s *spState) undo(i, k int) {
-	proc, wt := s.pr.childProc[i][k], s.pr.childWt[i][k]
-	s.loads[proc] -= wt
-	s.total -= wt
+	pr := s.pr
+	kk := int(pr.ChildPtr[i]) + k
+	s.loads[pr.ChildProc[kk]] -= pr.ChildWt[kk]
+	s.total -= pr.ChildWt[kk]
 }
 
 // suspend serializes the unexplored remainder of a chunked-out dive: the
@@ -883,27 +782,32 @@ func SolveSingleProcParCtx(ctx context.Context, g *bipartite.Graph, opts Options
 		return core.Assignment{}, 0, nil
 	}
 
-	pr := newSPProblem(g)
+	pr := flatcore.CompileSP(g)
 	inc := core.SortedGreedy(g, core.GreedyOptions{})
 	workers := opts.workers()
 	sh := newParShared(inc, core.Makespan(g, inc), opts.maxNodes(), workers)
+	sh.rootLB = pr.Bounds.Root()
 	sh.obsFn = opts.Observer
+	sh.closeIfOptimal()
 	sh.observe() // the initial greedy incumbent
-	release := watchCancel(ctx, sh)
-	defer release()
-
-	root := newSPState(pr, sh)
-	tk := &ticker{sh: sh}
-	frontier, fdepth := genFrontier(root, tk, workers*splitFactor)
-	tk.flush()
-	if len(frontier) > 0 && !sh.stop.Load() {
-		runPool(sh, func() parSearcher { return newSPState(pr, sh) }, frontier, workers, fdepth)
+	var frontier [][]int32
+	if !sh.closed.Load() {
+		release := watchCancel(ctx, sh)
+		defer release()
+		root := newSPState(pr, sh)
+		tk := &ticker{sh: sh}
+		var fdepth int
+		frontier, fdepth = genFrontier(root, tk, workers*splitFactor)
+		tk.flush()
+		if len(frontier) > 0 && !sh.stop.Load() {
+			runPool(sh, func() parSearcher { return newSPState(pr, sh) }, frontier, workers, fdepth)
+		}
+		release()
 	}
-	release()
 	sh.observe() // flush the final incumbent to the observer
 	if opts.Stats != nil {
-		complete := !sh.exhausted.Load() && !sh.cancelled.Load()
-		bound, wit := witnessFor(complete, (pr.suffixAvg[0]+int64(pr.p)-1)/int64(pr.p), pr.suffixMax[0], sh.bestM)
+		complete := sh.closed.Load() || (!sh.exhausted.Load() && !sh.cancelled.Load())
+		bound, wit := witnessFor(complete, pr.Bounds, sh.bestM)
 		*opts.Stats = SearchStats{
 			Nodes:       sh.nodes.Load(),
 			Workers:     workers,
@@ -918,295 +822,25 @@ func SolveSingleProcParCtx(ctx context.Context, g *bipartite.Graph, opts Options
 
 // --- MULTIPROC ---
 
-// mpProblem is the immutable, preprocessed shape of one MULTIPROC search.
-type mpProblem struct {
-	h    *hypergraph.Hypergraph
-	n, p int
-	// order is the branch order; childEdge lists position i's hyperedges
-	// cheapest total cost first.
-	order     []int32
-	childEdge [][]int32
-	cost      []int64 // per edge: w_e·|h_e∩V2|
-	suffixAvg []int64
-	suffixMax []int64
-	// sig groups interchangeable processors; -1 marks processors with no
-	// verified symmetric partner. nil disables symmetry breaking.
-	sig []int32
-	// childClass[i][k] is the static symmetry class of child k at
-	// position i: two children share a class iff they have the same
-	// weight and their pin sets match as multisets of (symmetry group |
-	// fixed processor) — interchangeable whenever current loads agree.
-	// -1 marks children with no statically symmetric sibling. nil when
-	// sig is nil.
-	childClass [][]int16
-	maxSize    int
-}
-
-func newMPProblem(h *hypergraph.Hypergraph) *mpProblem {
-	n, p := h.NTasks, h.NProcs
-	pr := &mpProblem{h: h, n: n, p: p}
-	pr.order = make([]int32, n)
-	for i := range pr.order {
-		pr.order[i] = int32(i)
-	}
-	sort.SliceStable(pr.order, func(i, j int) bool {
-		return h.TaskDegree(int(pr.order[i])) < h.TaskDegree(int(pr.order[j]))
-	})
-
-	pr.cost = make([]int64, h.NumEdges())
-	for e := range pr.cost {
-		pr.cost[e] = h.Weight[e] * int64(h.EdgeSize(int32(e)))
-	}
-
-	pr.childEdge = make([][]int32, n)
-	for i, t := range pr.order {
-		edges := append([]int32(nil), h.TaskEdges(int(t))...)
-		sort.SliceStable(edges, func(a, b int) bool { return pr.cost[edges[a]] < pr.cost[edges[b]] })
-		pr.childEdge[i] = edges
-	}
-
-	pr.suffixAvg = make([]int64, n+1)
-	pr.suffixMax = make([]int64, n+1)
-	for i := n - 1; i >= 0; i-- {
-		minC := pr.cost[pr.childEdge[i][0]] // sorted by cost
-		// The max-element bound uses the edge weight: choosing any
-		// configuration of this task puts at least its cheapest weight
-		// whole onto some processor.
-		minW := int64(-1)
-		for _, e := range pr.childEdge[i] {
-			if w := h.Weight[e]; minW < 0 || w < minW {
-				minW = w
-			}
-		}
-		pr.suffixAvg[i] = pr.suffixAvg[i+1] + minC
-		pr.suffixMax[i] = pr.suffixMax[i+1]
-		if minW > pr.suffixMax[i] {
-			pr.suffixMax[i] = minW
-		}
-	}
-
-	_, pr.maxSize = h.MinMaxEdgeSize()
-	pr.sig = mpProcGroups(h)
-	if pr.sig != nil {
-		pr.childClass = make([][]int16, n)
-		var enc []byte
-		var buf [binary.MaxVarintLen64]byte
-		keys := make([]int32, 0, pr.maxSize)
-		for i := range pr.childEdge {
-			edges := pr.childEdge[i]
-			cls := make([]int16, len(edges))
-			seen := map[string]int16{}
-			next := int16(0)
-			for k, e := range edges {
-				cls[k] = -1
-				grouped := false
-				keys = keys[:0]
-				for _, u := range h.EdgeProcs(e) {
-					s := pr.sig[u]
-					if s >= 0 {
-						grouped = true
-					} else {
-						s = ^u
-					}
-					keys = append(keys, s)
-				}
-				if !grouped {
-					// Without a grouped pin the only symmetric sibling
-					// would be a literal duplicate edge; not worth a class.
-					continue
-				}
-				sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-				enc = enc[:0]
-				enc = append(enc, buf[:binary.PutVarint(buf[:], h.Weight[e])]...)
-				for _, s := range keys {
-					enc = append(enc, buf[:binary.PutVarint(buf[:], int64(s))]...)
-				}
-				if id, ok := seen[string(enc)]; ok {
-					cls[k] = id
-				} else {
-					seen[string(enc)] = next
-					cls[k] = next
-					next++
-				}
-			}
-			count := map[int16]int{}
-			for _, c := range cls {
-				if c >= 0 {
-					count[c]++
-				}
-			}
-			for k, c := range cls {
-				if c >= 0 && count[c] < 2 {
-					cls[k] = -1
-				}
-			}
-			pr.childClass[i] = cls
-		}
-	}
-	return pr
-}
-
-// mpProcGroups finds processors whose transposition is an automorphism of
-// the hypergraph — swapping them maps the hyperedge multiset onto itself,
-// preserving owners and weights. The check is exact: candidate pairs come
-// from a cheap incidence invariant, then each pair is verified by mapping
-// every incident hyperedge through the swap and looking the image up in
-// the edge multiset. Returns nil when no group has two members or the
-// instance exceeds the detection gates.
-func mpProcGroups(h *hypergraph.Hypergraph) []int32 {
-	if h.NProcs > symProcCap || h.NumEdges() > symEdgeCap {
-		return nil
-	}
-	// Cheap invariant: sorted (owner, weight, size) profile per processor.
-	prof := make([][]byte, h.NProcs)
-	var buf [3 * binary.MaxVarintLen64]byte
-	for e := 0; e < h.NumEdges(); e++ {
-		m := binary.PutVarint(buf[:], int64(h.Owner[e]))
-		m += binary.PutVarint(buf[m:], h.Weight[e])
-		m += binary.PutVarint(buf[m:], int64(h.EdgeSize(int32(e))))
-		for _, u := range h.EdgeProcs(int32(e)) {
-			prof[u] = append(prof[u], buf[:m]...)
-		}
-	}
-	// Edges are visited in ascending id order, so profiles are canonical.
-	cand := map[string][]int32{}
-	for u := range prof {
-		k := string(prof[u])
-		cand[k] = append(cand[k], int32(u))
-	}
-
-	// Edge multiset keyed by (owner, weight, pins).
-	edgeKey := func(owner int32, w int64, pins []int32) string {
-		b := make([]byte, 0, (len(pins)+2)*binary.MaxVarintLen64)
-		var t [binary.MaxVarintLen64]byte
-		b = append(b, t[:binary.PutVarint(t[:], int64(owner))]...)
-		b = append(b, t[:binary.PutVarint(t[:], w)]...)
-		for _, u := range pins {
-			b = append(b, t[:binary.PutVarint(t[:], int64(u))]...)
-		}
-		return string(b)
-	}
-	count := map[string]int{}
-	keys := make([]string, h.NumEdges())
-	for e := 0; e < h.NumEdges(); e++ {
-		k := edgeKey(h.Owner[e], h.Weight[e], h.EdgeProcs(int32(e)))
-		keys[e] = k
-		count[k]++
-	}
-	// incident[u] = edges containing processor u.
-	incident := make([][]int32, h.NProcs)
-	for e := 0; e < h.NumEdges(); e++ {
-		for _, u := range h.EdgeProcs(int32(e)) {
-			incident[u] = append(incident[u], int32(e))
-		}
-	}
-	swapPins := func(pins []int32, a, b int32) []int32 {
-		out := append([]int32(nil), pins...)
-		for i, u := range out {
-			switch u {
-			case a:
-				out[i] = b
-			case b:
-				out[i] = a
-			}
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-		return out
-	}
-	contains := func(pins []int32, u int32) bool {
-		for _, v := range pins {
-			if v == u {
-				return true
-			}
-		}
-		return false
-	}
-	// verify checks that the transposition (a b) maps the edge multiset
-	// onto itself. Because a transposition is an involution, it suffices
-	// that every edge incident to exactly one of {a,b} has an image class
-	// of equal multiplicity.
-	verify := func(a, b int32) bool {
-		for _, side := range [][]int32{incident[a], incident[b]} {
-			for _, e := range side {
-				pins := h.EdgeProcs(e)
-				if contains(pins, a) && contains(pins, b) {
-					continue // swap fixes the pin set
-				}
-				img := edgeKey(h.Owner[e], h.Weight[e], swapPins(pins, a, b))
-				if count[img] != count[keys[e]] {
-					return false
-				}
-			}
-		}
-		return true
-	}
-
-	sig := make([]int32, h.NProcs)
-	for i := range sig {
-		sig[i] = -1
-	}
-	id := int32(0)
-	any := false
-	for _, members := range cand {
-		if len(members) < 2 {
-			continue
-		}
-		// Greedy class building with verified transpositions against each
-		// class representative. Verified (a,r) and (b,r) compose to a
-		// verified symmetry between a and b.
-		var reps []int32
-		var repIDs []int32
-		for _, u := range members {
-			placed := false
-			for ri, r := range reps {
-				if verify(r, u) {
-					sig[u] = repIDs[ri]
-					placed = true
-					break
-				}
-			}
-			if !placed {
-				reps = append(reps, u)
-				repIDs = append(repIDs, id)
-				sig[u] = id
-				id++
-			}
-		}
-	}
-	// Demote singleton classes: a processor with no verified partner gets
-	// no signature (keeps the per-node sibling scan cheap).
-	classSize := map[int32]int{}
-	for _, s := range sig {
-		if s >= 0 {
-			classSize[s]++
-		}
-	}
-	for i, s := range sig {
-		if s >= 0 && classSize[s] < 2 {
-			sig[i] = -1
-		} else if s >= 0 {
-			any = true
-		}
-	}
-	if !any {
-		return nil
-	}
-	return sig
-}
-
-// mpState is one worker's mutable MULTIPROC search state.
+// mpState is one worker's mutable MULTIPROC search state over the shared
+// compiled shape.
 type mpState struct {
-	pr    *mpProblem
+	pr    *flatcore.MP
 	sh    *parShared
 	loads []int64
 	cur   []int32
 	total int64
+	// chosen[i] is the child ordinal applied at position i; the dominance
+	// rule reads chosen[i-1].
+	chosen []int32
 	// ords/entry are the explicit DFS stack scratch: the child ordinal
 	// applied at each depth, and the partial makespan at each node entry.
 	ords  []int32
 	entry []int64
 	// scratch pair buffers for the symmetry comparison.
 	pairA, pairB []symPair
+	// chunkLimit mirrors spState.chunkLimit.
+	chunkLimit int64
 }
 
 type symPair struct {
@@ -1214,20 +848,22 @@ type symPair struct {
 	load int64
 }
 
-func newMPState(pr *mpProblem, sh *parShared) *mpState {
+func newMPState(pr *flatcore.MP, sh *parShared) *mpState {
 	return &mpState{
-		pr:    pr,
-		sh:    sh,
-		loads: make([]int64, pr.p),
-		cur:   make([]int32, pr.n),
-		ords:  make([]int32, pr.n),
-		entry: make([]int64, pr.n+1),
-		pairA: make([]symPair, 0, pr.maxSize),
-		pairB: make([]symPair, 0, pr.maxSize),
+		pr:         pr,
+		sh:         sh,
+		loads:      make([]int64, pr.P),
+		cur:        make([]int32, pr.N),
+		chosen:     make([]int32, pr.N),
+		ords:       make([]int32, pr.N),
+		entry:      make([]int64, pr.N+1),
+		pairA:      make([]symPair, 0, pr.MaxSize),
+		pairB:      make([]symPair, 0, pr.MaxSize),
+		chunkLimit: chunkNodes,
 	}
 }
 
-func (s *mpState) depth() int { return s.pr.n }
+func (s *mpState) depth() int { return s.pr.N }
 
 func (s *mpState) replay(prefix []int32) int64 {
 	for i := range s.loads {
@@ -1235,18 +871,19 @@ func (s *mpState) replay(prefix []int32) int64 {
 	}
 	s.total = 0
 	var curMax int64
-	h := s.pr.h
+	pr := s.pr
 	for d, ord := range prefix {
-		e := s.pr.childEdge[d][ord]
-		w := h.Weight[e]
-		for _, u := range h.EdgeProcs(e) {
+		k := int(pr.ChildPtr[d]) + int(ord)
+		e, w := pr.ChildEdge[k], pr.ChildWt[k]
+		for _, u := range pr.Pins[pr.PinPtr[e]:pr.PinPtr[e+1]] {
 			s.loads[u] += w
 			if s.loads[u] > curMax {
 				curMax = s.loads[u]
 			}
 		}
-		s.total += s.pr.cost[e]
-		s.cur[s.pr.order[d]] = e
+		s.total += pr.ChildCost[k]
+		s.cur[pr.Order[d]] = e
+		s.chosen[d] = ord
 	}
 	return curMax
 }
@@ -1258,9 +895,9 @@ func (s *mpState) replay(prefix []int32) int64 {
 // every current load.
 func (s *mpState) fillPairs(dst []symPair, e int32) []symPair {
 	dst = dst[:0]
-	sig := s.pr.sig
-	for _, u := range s.pr.h.EdgeProcs(e) {
-		k := sig[u]
+	pr := s.pr
+	for _, u := range pr.Pins[pr.PinPtr[e]:pr.PinPtr[e+1]] {
+		k := pr.Sig[u]
 		if k < 0 {
 			k = ^u
 		}
@@ -1276,41 +913,49 @@ func (s *mpState) fillPairs(dst []symPair, e int32) []symPair {
 	return dst
 }
 
-// dupSibling reports whether child k of position i is symmetric to an
-// earlier sibling edge: statically interchangeable (same childClass) and
-// an automorphism maps one pin set to the other preserving current loads.
-func (s *mpState) dupSibling(i, k int) bool {
+// dupSibling reports whether the child at flat index base+k is symmetric
+// to an earlier sibling edge: statically interchangeable (same ChildClass)
+// and an automorphism maps one pin set to the other preserving current
+// loads. Identical pin bitsets short-circuit the multiset comparison:
+// same class means same weight, so equal pin sets are literal duplicate
+// configurations.
+func (s *mpState) dupSibling(base, k int) bool {
 	pr := s.pr
-	cls := pr.childClass[i]
-	c := cls[k]
+	c := pr.ChildClass[base+k]
 	if c < 0 {
 		return false
 	}
-	h := pr.h
-	edges := pr.childEdge[i]
-	e := edges[k]
-	pins := h.EdgeProcs(e)
+	e := pr.ChildEdge[base+k]
+	pins := pr.Pins[pr.PinPtr[e]:pr.PinPtr[e+1]]
 	if len(pins) == 1 {
 		// Singleton fast path (identical-machines shape): the dynamic
 		// condition degenerates to one load compare.
 		lk := s.loads[pins[0]]
 		for k2 := 0; k2 < k; k2++ {
-			if cls[k2] == c && s.loads[h.EdgeProcs(edges[k2])[0]] == lk {
-				return true
+			if pr.ChildClass[base+k2] == c {
+				e2 := pr.ChildEdge[base+k2]
+				if s.loads[pr.Pins[pr.PinPtr[e2]]] == lk {
+					return true
+				}
 			}
 		}
 		return false
 	}
+	words := pr.PinBits[int(e)*pr.PinWords : (int(e)+1)*pr.PinWords]
 	var filledA bool
 	for k2 := 0; k2 < k; k2++ {
-		if cls[k2] != c {
+		if pr.ChildClass[base+k2] != c {
 			continue
+		}
+		e2 := pr.ChildEdge[base+k2]
+		if flatcore.EqualWords(words, pr.PinBits[int(e2)*pr.PinWords:(int(e2)+1)*pr.PinWords]) {
+			return true
 		}
 		if !filledA {
 			s.pairA = s.fillPairs(s.pairA, e)
 			filledA = true
 		}
-		s.pairB = s.fillPairs(s.pairB, edges[k2])
+		s.pairB = s.fillPairs(s.pairB, e2)
 		same := true
 		for j := range s.pairA {
 			if s.pairA[j] != s.pairB[j] {
@@ -1325,14 +970,31 @@ func (s *mpState) dupSibling(i, k int) bool {
 	return false
 }
 
+// bound mirrors spState.bound.
 func (s *mpState) bound(i int, curMax int64) bool {
 	best := s.sh.best.Load()
 	if curMax >= best {
 		return false
 	}
 	pr := s.pr
-	lb := (s.total + pr.suffixAvg[i] + int64(pr.p) - 1) / int64(pr.p)
-	return lb < best && pr.suffixMax[i] < best
+	if (s.total+pr.SuffixAvg[i]+int64(pr.P)-1)/int64(pr.P) >= best {
+		return false
+	}
+	if pr.SuffixMax[i] >= best {
+		return false
+	}
+	if pr.MinLoadScan {
+		minLoad := s.loads[0]
+		for _, l := range s.loads[1:] {
+			if l < minLoad {
+				minLoad = l
+			}
+		}
+		if minLoad+pr.SuffixMax[i] >= best {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *mpState) expand(prefix []int32, tk *ticker) []int32 {
@@ -1341,29 +1003,35 @@ func (s *mpState) expand(prefix []int32, tk *ticker) []int32 {
 	if tk.node() {
 		return nil
 	}
-	if i == s.pr.n {
+	if i == s.pr.N {
 		s.sh.offer(curMax, s.cur)
 		return nil
 	}
 	if !s.bound(i, curMax) {
 		return nil
 	}
+	if s.pr.UseFlow && s.pr.CompletePrune(s.loads, i, s.sh.best.Load()) {
+		return nil
+	}
 	var out []int32
-	for k := range s.pr.childEdge[i] {
-		if s.pr.sig != nil && s.dupSibling(i, k) {
-			continue
-		}
+	for k := s.nextChild(i, 0); k >= 0; k = s.nextChild(i, k+1) {
 		out = append(out, int32(k))
 	}
 	return out
 }
 
 // nextChild returns the first surviving child ordinal ≥ from at position
-// i (symmetry duplicates skipped), or -1.
+// i (symmetry duplicates skipped, dominance floor applied), or -1.
 func (s *mpState) nextChild(i, from int) int {
-	edges := s.pr.childEdge[i]
-	for k := from; k < len(edges); k++ {
-		if s.pr.sig != nil && s.dupSibling(i, k) {
+	pr := s.pr
+	if pr.EqPrev[i] {
+		if mo := int(s.chosen[i-1]); from < mo {
+			from = mo
+		}
+	}
+	base, end := int(pr.ChildPtr[i]), int(pr.ChildPtr[i+1])
+	for k := from; k < end-base; k++ {
+		if pr.ChildClass != nil && s.dupSibling(base, k) {
 			continue
 		}
 		return k
@@ -1371,15 +1039,15 @@ func (s *mpState) nextChild(i, from int) int {
 	return -1
 }
 
-// run explores prefix's subtree for up to chunkNodes nodes with an
+// run explores prefix's subtree for up to chunkLimit nodes with an
 // explicit-stack DFS; see spState.run for the suspension contract.
 func (s *mpState) run(prefix []int32, tk *ticker) [][]int32 {
 	pr := s.pr
 	base := len(prefix)
-	entry := s.entry[:pr.n-base+1]
-	ords := s.ords[:max(pr.n-base, 0)]
+	entry := s.entry[:pr.N-base+1]
+	ords := s.ords[:max(pr.N-base, 0)]
 	entry[0] = s.replay(prefix)
-	chunk := int64(chunkNodes)
+	chunk := s.chunkLimit
 	depth := 0
 	descend := true
 	for {
@@ -1389,7 +1057,7 @@ func (s *mpState) run(prefix []int32, tk *ticker) [][]int32 {
 			}
 			chunk--
 			i := base + depth
-			if i == pr.n {
+			if i == pr.N {
 				s.sh.offer(entry[depth], s.cur)
 				descend = false
 				continue
@@ -1432,27 +1100,28 @@ func (s *mpState) run(prefix []int32, tk *ticker) [][]int32 {
 // makespan.
 func (s *mpState) apply(i, k int, curMax int64) int64 {
 	pr := s.pr
-	e := pr.childEdge[i][k]
-	w := pr.h.Weight[e]
-	for _, u := range pr.h.EdgeProcs(e) {
+	kk := int(pr.ChildPtr[i]) + k
+	e, w := pr.ChildEdge[kk], pr.ChildWt[kk]
+	for _, u := range pr.Pins[pr.PinPtr[e]:pr.PinPtr[e+1]] {
 		s.loads[u] += w
 		if s.loads[u] > curMax {
 			curMax = s.loads[u]
 		}
 	}
-	s.total += pr.cost[e]
-	s.cur[pr.order[i]] = e
+	s.total += pr.ChildCost[kk]
+	s.cur[pr.Order[i]] = e
+	s.chosen[i] = int32(k)
 	return curMax
 }
 
 func (s *mpState) undo(i, k int) {
 	pr := s.pr
-	e := pr.childEdge[i][k]
-	w := pr.h.Weight[e]
-	for _, u := range pr.h.EdgeProcs(e) {
+	kk := int(pr.ChildPtr[i]) + k
+	e, w := pr.ChildEdge[kk], pr.ChildWt[kk]
+	for _, u := range pr.Pins[pr.PinPtr[e]:pr.PinPtr[e+1]] {
 		s.loads[u] -= w
 	}
-	s.total -= pr.cost[e]
+	s.total -= pr.ChildCost[kk]
 }
 
 // suspend serializes the unexplored remainder of a chunked-out dive; see
@@ -1494,27 +1163,32 @@ func SolveMultiProcParCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Op
 		}
 	}
 
-	pr := newMPProblem(h)
+	pr := flatcore.CompileMP(h)
 	inc := core.SortedGreedyHyp(h, core.HyperOptions{})
 	workers := opts.workers()
 	sh := newParShared(inc, core.HyperMakespan(h, inc), opts.maxNodes(), workers)
+	sh.rootLB = pr.Bounds.Root()
 	sh.obsFn = opts.Observer
+	sh.closeIfOptimal()
 	sh.observe() // the initial greedy incumbent
-	release := watchCancel(ctx, sh)
-	defer release()
-
-	root := newMPState(pr, sh)
-	tk := &ticker{sh: sh}
-	frontier, fdepth := genFrontier(root, tk, workers*splitFactor)
-	tk.flush()
-	if len(frontier) > 0 && !sh.stop.Load() {
-		runPool(sh, func() parSearcher { return newMPState(pr, sh) }, frontier, workers, fdepth)
+	var frontier [][]int32
+	if !sh.closed.Load() {
+		release := watchCancel(ctx, sh)
+		defer release()
+		root := newMPState(pr, sh)
+		tk := &ticker{sh: sh}
+		var fdepth int
+		frontier, fdepth = genFrontier(root, tk, workers*splitFactor)
+		tk.flush()
+		if len(frontier) > 0 && !sh.stop.Load() {
+			runPool(sh, func() parSearcher { return newMPState(pr, sh) }, frontier, workers, fdepth)
+		}
+		release()
 	}
-	release()
 	sh.observe() // flush the final incumbent to the observer
 	if opts.Stats != nil {
-		complete := !sh.exhausted.Load() && !sh.cancelled.Load()
-		bound, wit := witnessFor(complete, (pr.suffixAvg[0]+int64(pr.p)-1)/int64(pr.p), pr.suffixMax[0], sh.bestM)
+		complete := sh.closed.Load() || (!sh.exhausted.Load() && !sh.cancelled.Load())
+		bound, wit := witnessFor(complete, pr.Bounds, sh.bestM)
 		*opts.Stats = SearchStats{
 			Nodes:       sh.nodes.Load(),
 			Workers:     workers,

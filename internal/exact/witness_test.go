@@ -5,9 +5,26 @@ import (
 	"math/rand"
 	"testing"
 
+	"semimatch/internal/bipartite"
 	"semimatch/internal/cert"
 	"semimatch/internal/core"
+	"semimatch/internal/hypergraph"
+	"semimatch/internal/lb"
 )
+
+// strongBoundsOf re-derives the packing and matching bounds for an
+// instance, mirroring what the engines compile into flatcore.Bounds.
+func strongBoundsOf(t *testing.T, inst any) (pack, match int64) {
+	t.Helper()
+	switch v := inst.(type) {
+	case *bipartite.Graph:
+		return lb.Packing(lb.MinPlacementsGraph(v), v.NRight), lb.MatchingGraph(v)
+	case *hypergraph.Hypergraph:
+		return lb.Packing(lb.MinPlacementsHyper(v), v.NProcs), lb.MatchingHyper(v)
+	}
+	t.Fatalf("unknown instance type %T", inst)
+	return 0, 0
+}
 
 // TestSearchStatsWitness: every engine (sequential and parallel, both
 // classes) reports a root bound and a witness that certifies its result —
@@ -59,6 +76,7 @@ func TestSearchStatsWitness(t *testing.T) {
 			if berr != nil {
 				t.Fatal(berr)
 			}
+			pack, match := strongBoundsOf(t, r.inst)
 			switch st.Witness {
 			case cert.WitnessAverageLoad:
 				if avg != m {
@@ -68,18 +86,25 @@ func TestSearchStatsWitness(t *testing.T) {
 				if maxElem != m {
 					t.Fatalf("%s: max-element witness but maxElem %d ≠ makespan %d", r.name, maxElem, m)
 				}
+			case cert.WitnessPacking:
+				if pack != m {
+					t.Fatalf("%s: packing witness but pack %d ≠ makespan %d", r.name, pack, m)
+				}
+			case cert.WitnessMatching:
+				if match != m {
+					t.Fatalf("%s: matching witness but match %d ≠ makespan %d", r.name, match, m)
+				}
 			case cert.WitnessExhaustive:
-				if avg == m || maxElem == m {
-					t.Fatalf("%s: exhaustive witness although a bound closes the gap (avg %d, maxElem %d, m %d)",
-						r.name, avg, maxElem, m)
+				if avg == m || maxElem == m || pack == m || match == m {
+					t.Fatalf("%s: exhaustive witness although a bound closes the gap (avg %d, maxElem %d, pack %d, match %d, m %d)",
+						r.name, avg, maxElem, pack, match, m)
 				}
 			}
-			want := avg
-			if maxElem > want {
-				want = maxElem
-			}
+			// The reported bound is the strongest of the four root bounds:
+			// at least the cheap ones, never above the optimum.
+			want := max(max(avg, maxElem), max(pack, match))
 			if st.Bound != want {
-				t.Fatalf("%s: bound %d, want max(avg, maxElem) = %d", r.name, st.Bound, want)
+				t.Fatalf("%s: bound %d, want strongest root bound %d", r.name, st.Bound, want)
 			}
 		}
 	}

@@ -138,6 +138,8 @@ const (
 	WitnessAverageLoad = cert.WitnessAverageLoad
 	WitnessMaxElement  = cert.WitnessMaxElement
 	WitnessExhaustive  = cert.WitnessExhaustive
+	WitnessPacking     = cert.WitnessPacking
+	WitnessMatching    = cert.WitnessMatching
 )
 
 // TrustTier is the trust level Verify establishes for a certificate.
