@@ -26,6 +26,8 @@
 //	semibench -bench -workers 8 -bench-seeds 10 -bench-out BENCH-8w.json
 //	semibench -bench -max-nodes-regress   # fail if any sequential case explores
 //	                                      # more nodes than the latest BENCH_<n>.json
+//	semibench -bench -bench-trace         # attach solve spans (node counts unchanged)
+//	semibench -bench -ledger solves.jsonl # append one SolveRecord per measured solve
 //	semibench -cpuprofile cpu.pb.gz -bench   # profile any run mode
 //	semibench -memprofile heap.pb.gz -table 2
 //
@@ -130,4 +132,12 @@
 // highest existing index), so the perf trajectory accumulates across
 // runs and PRs instead of being overwritten. EXPERIMENTS.md records the
 // repo's committed runs.
+//
+// Two observability knobs ride along: -bench-trace attaches a telemetry
+// span tree to every measured solve (spans are recorded at phase
+// boundaries, so node counts are unchanged by construction — the
+// BENCH_5.json run is the committed proof), and -ledger FILE appends one
+// solve-ledger record (instance features, algorithm, wall, nodes,
+// status; source "bench") per measured solve, the same JSONL schema
+// semiserve's -ledger writes.
 package main

@@ -16,6 +16,7 @@ import (
 	"semimatch/internal/bench"
 	"semimatch/internal/gen"
 	"semimatch/internal/registry"
+	"semimatch/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func main() {
 	benchNodes := flag.Int64("bench-nodes", 0, "with -bench, per-solve node budget (default 300e6)")
 	benchRegress := flag.Bool("max-nodes-regress", false,
 		"with -bench, fail (exit 1, no snapshot) if any sequential case explores more nodes than the latest committed BENCH_<n>.json")
+	benchTrace := flag.Bool("bench-trace", false, "with -bench, attach a solve trace to every measured solve (node counts are unchanged — the overhead check)")
+	ledgerPath := flag.String("ledger", "", "with -bench, append one JSONL solve-ledger record per measured solve to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -98,11 +101,22 @@ func main() {
 	}
 
 	if *benchMode {
-		rep, err := bench.RunPerf(ctx, bench.PerfOptions{
+		popts := bench.PerfOptions{
 			Workers:  *workers,
 			Seeds:    *benchSeeds,
 			MaxNodes: *benchNodes,
-		})
+			Trace:    *benchTrace,
+		}
+		if *ledgerPath != "" {
+			l, err := telemetry.OpenLedger(*ledgerPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "semibench: -ledger: %v\n", err)
+				os.Exit(1)
+			}
+			defer l.Close()
+			popts.Ledger = l
+		}
+		rep, err := bench.RunPerf(ctx, popts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "semibench: -bench: %v\n", err)
 			os.Exit(1)

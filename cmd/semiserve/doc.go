@@ -18,6 +18,10 @@
 //	semiserve -deadline 2s             # default per-request budget
 //	semiserve -http-inflight 32 -max-body 4194304  # tighter memory bounds
 //	semiserve -refine                  # local search on auto-policy schedules
+//	semiserve -log-level debug         # structured access logs (off silences them)
+//	semiserve -ledger solves.jsonl     # append one solve-ledger record per solve
+//	semiserve -trace traces.ndjson     # NDJSON request-span trees ("-" = stderr)
+//	semiserve -pprof                   # mount net/http/pprof under /debug/pprof/
 //
 // # POST /solve
 //
@@ -63,6 +67,8 @@
 //	                                   // exhaustive | none (omitted when no
 //	                                   // certificate was issued)
 //	  "cached": true,                  // served from a cache tier
+//	  "cache_tier": "memory",          // which tier: memory | disk
+//	                                   // (omitted for freshly solved)
 //	  "elapsed_s": 0.0031,             // solve wall-clock (≈0 for hits)
 //	  "assignment": [0, 2, 5],         // task → processor (bipartite) or
 //	                                   // task → hyperedge id (hypergraph,
@@ -107,14 +113,58 @@
 //
 // # GET /stats
 //
-// A JSON snapshot of the serving counters: requests, cache_hits,
-// cache_misses, cache_evictions, cache_entries, coalesced (single-flight
-// deduplicated requests), solves, solve_errors, truncated,
-// verify_failures (results whose certificate failed independent
-// verification), overloaded (429s), in_flight, queue_depth, workers,
-// uptime_s — plus, when -cache-dir is set, the disk tier's disk_hits,
-// disk_misses, disk_writes, disk_write_errors and disk_reaped (garbled
-// or unverifiable entries removed on load).
+// A JSON snapshot of the serving counters and gauges:
+//
+//	requests          total /solve requests admitted for processing
+//	cache_hits        memory-tier hits (isomorphic repeats included)
+//	cache_misses      memory-tier misses
+//	cache_evictions   LRU evictions
+//	cache_entries     current memory-tier size
+//	coalesced         single-flight deduplicated concurrent requests
+//	solves            fresh solves actually run
+//	solve_errors      solves that returned an error
+//	truncated         deadline/budget-truncated solves (never cached)
+//	verify_failures   results whose certificate failed re-verification
+//	overloaded        429 responses (queue full or -http-inflight hit)
+//	in_flight         solves executing right now (gauge)
+//	queue_len         requests waiting in the admission queue (gauge)
+//	queue_depth       admission-queue capacity (-queue)
+//	workers           solver worker count
+//	uptime_s          seconds since the service started
+//
+// With -cache-dir the disk tier adds disk_hits, disk_misses,
+// disk_writes, disk_write_errors and disk_reaped (garbled or
+// unverifiable entries removed on load).
+//
+// # GET /metrics
+//
+// The same counters (plus request-latency and queue-wait histograms) in
+// Prometheus text exposition format 0.0.4, served from a dependency-free
+// registry. Families are prefixed semimatch_; the full taxonomy is in
+// the README's observability section. Counters are func-backed views of
+// the service's existing atomics, so scraping costs the request path
+// nothing.
+//
+// # GET /debug/solves
+//
+// Live search introspection: a JSON list of in-flight solves, each with
+// the instance fingerprint, algorithm, running time, and the engine's
+// latest progress snapshot (nodes expanded, nodes/sec, incumbent, bound,
+// gap). Empty list when idle. With -pprof, net/http/pprof is additionally
+// mounted under /debug/pprof/.
+//
+// # Observability
+//
+// Every response carries an X-Request-Id header (16 hex chars). With
+// -log-level (debug|info|warn|error; "off" disables), each request emits
+// one structured log/slog line: id, method, path, status, elapsed, and —
+// for solves — alg, fp (fingerprint prefix), cache tier and solve
+// status. With -trace, each /solve request appends its span tree
+// (request → canonicalize, queue-wait, solve…, verify, cache-admission)
+// as NDJSON, one tree per request. With -ledger, every fresh solve
+// appends a solve-ledger record (instance features, algorithm, wall,
+// nodes, status; source "service") — the same JSONL schema semibench's
+// -ledger writes, see internal/telemetry.
 //
 // # GET /healthz
 //

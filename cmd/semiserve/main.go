@@ -3,6 +3,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -23,6 +25,10 @@ func main() {
 	maxInflight := flag.Int("http-inflight", 64, "max concurrent /solve requests, parsing included (0 = unlimited)")
 	maxBody := flag.Int64("max-body", 0, "max /solve request body in bytes (0 = 16MiB; worst-case buffered memory is this times -http-inflight)")
 	doRefine := flag.Bool("refine", false, "post-process auto-policy schedules with local search")
+	logLevel := flag.String("log-level", "info", "structured access-log level: debug, info, warn, error, or off")
+	ledgerPath := flag.String("ledger", "", "append one JSONL solve-ledger record per fresh solve to this file (empty disables)")
+	tracePath := flag.String("trace", "", "write one NDJSON request-trace span tree per request to this file (\"-\" = stderr, empty disables)")
+	doPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: semiserve [-addr :8080] [-cache n] [-queue n] [-workers n] [-deadline d]")
@@ -39,6 +45,29 @@ func main() {
 		}
 	}
 
+	var logger *slog.Logger
+	if *logLevel != "off" {
+		var level slog.Level
+		if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+			fmt.Fprintf(os.Stderr, "semiserve: -log-level: %v\n", err)
+			os.Exit(2)
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	}
+
+	var traceW io.Writer
+	if *tracePath == "-" {
+		traceW = os.Stderr
+	} else if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semiserve: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceW = f
+	}
+
 	svc := service.New(service.Options{
 		CacheEntries:    *cacheEntries,
 		CacheDir:        *cacheDir,
@@ -46,7 +75,10 @@ func main() {
 		Workers:         *workers,
 		DefaultDeadline: *deadline,
 		Batch:           batch.Options{Refine: *doRefine},
+		LedgerPath:      *ledgerPath,
+		TraceWriter:     traceW,
 	})
+	defer svc.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -66,7 +98,13 @@ func main() {
 		writeTimeout = *maxDeadline + 30*time.Second
 	}
 	srv := &http.Server{
-		Handler:           newServer(svc, *maxDeadline, *maxInflight, *maxBody),
+		Handler: newServer(svc, serverConfig{
+			maxDeadline: *maxDeadline,
+			maxInflight: *maxInflight,
+			maxBody:     *maxBody,
+			logger:      logger,
+			pprof:       *doPprof,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      writeTimeout,

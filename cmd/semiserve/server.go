@@ -3,11 +3,15 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -17,6 +21,7 @@ import (
 	"semimatch/internal/sched"
 	"semimatch/internal/service"
 	"semimatch/internal/solve"
+	"semimatch/internal/telemetry"
 )
 
 // defaultMaxBody bounds one /solve request body (overridable with
@@ -27,12 +32,33 @@ import (
 // few times that, which is exactly what -max-body is for.
 const defaultMaxBody = 16 << 20
 
+// serverConfig carries the HTTP layer's knobs from main (or a test) into
+// newServer.
+type serverConfig struct {
+	// maxDeadline caps the per-request ?deadline= override; 0 means no
+	// cap.
+	maxDeadline time.Duration
+	// maxInflight caps concurrent /solve handlers, parsing included; 0
+	// means unlimited.
+	maxInflight int
+	// maxBody caps one request body; 0 means defaultMaxBody.
+	maxBody int64
+	// logger receives one structured access-log line per request; nil
+	// disables access logging.
+	logger *slog.Logger
+	// pprof mounts net/http/pprof under /debug/pprof/.
+	pprof bool
+}
+
 // server is the HTTP front end over one Service.
 type server struct {
 	svc         *service.Service
 	maxDeadline time.Duration
 	maxBody     int64
-	start       time.Time
+	log         *slog.Logger
+	// reqLatency is the semimatch_http_request_seconds histogram, living
+	// in the service's registry so one /metrics scrape covers both layers.
+	reqLatency *telemetry.Histogram
 	// inflight caps concurrent /solve handlers. The service's own
 	// admission control only bounds solves; this bound also covers the
 	// per-request work done before a request reaches it — body
@@ -42,24 +68,105 @@ type server struct {
 	inflight chan struct{}
 }
 
-// newServer wires the HTTP routes. maxDeadline caps the per-request
-// ?deadline= override (0 means no cap); maxInflight caps concurrent
-// /solve handlers (0 means unlimited); maxBody caps one request body
-// (0 means defaultMaxBody).
-func newServer(svc *service.Service, maxDeadline time.Duration, maxInflight int, maxBody int64) http.Handler {
-	s := &server{svc: svc, maxDeadline: maxDeadline, maxBody: maxBody, start: time.Now()}
+// newServer wires the HTTP routes and the instrumentation middleware
+// (request ids, the request-latency histogram, access logs). It registers
+// the HTTP metric families into svc's registry, so each Service can front
+// at most one server.
+func newServer(svc *service.Service, cfg serverConfig) http.Handler {
+	s := &server{svc: svc, maxDeadline: cfg.maxDeadline, maxBody: cfg.maxBody, log: cfg.logger}
 	if s.maxBody <= 0 {
 		s.maxBody = defaultMaxBody
 	}
-	if maxInflight > 0 {
-		s.inflight = make(chan struct{}, maxInflight)
+	if cfg.maxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.maxInflight)
 	}
+	s.reqLatency = svc.Metrics().Histogram("semimatch_http_request_seconds",
+		"HTTP request latency, handler entry to response end.", nil)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/solves", s.handleDebugSolves)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
+}
+
+// reqInfo is per-request annotation the solve handler fills in for the
+// access log: what was asked, what answered it.
+type reqInfo struct {
+	alg, fingerprint, tier, status string
+}
+
+type reqInfoKey struct{}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// newRequestID returns a 16-hex-char random request id.
+func newRequestID() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// instrument wraps the route mux with the observability middleware: a
+// request id issued to the client as X-Request-Id, one latency histogram
+// observation, and one structured access-log line per request.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := newRequestID()
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		info := &reqInfo{}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info)))
+		elapsed := time.Since(start)
+		s.reqLatency.Observe(elapsed.Seconds())
+		if s.log == nil {
+			return
+		}
+		attrs := []slog.Attr{
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("elapsed", elapsed),
+		}
+		if info.alg != "" {
+			attrs = append(attrs, slog.String("alg", info.alg))
+		}
+		if info.fingerprint != "" {
+			fp := info.fingerprint
+			if len(fp) > 12 {
+				fp = fp[:12]
+			}
+			tier := info.tier
+			if tier == "" {
+				tier = "none"
+			}
+			attrs = append(attrs, slog.String("fp", fp), slog.String("cache", tier))
+		}
+		if info.status != "" {
+			attrs = append(attrs, slog.String("solve_status", info.status))
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	})
 }
 
 // solveResponse is the JSON body of a successful POST /solve; the schema
@@ -83,9 +190,12 @@ type solveResponse struct {
 	Trust string `json:"trust"`
 	// Witness names the optimality argument of the result's certificate:
 	// "average-load", "max-element", "exhaustive" or "none".
-	Witness  string  `json:"witness,omitempty"`
-	Cached   bool    `json:"cached"`
-	ElapsedS float64 `json:"elapsed_s"`
+	Witness string `json:"witness,omitempty"`
+	Cached  bool   `json:"cached"`
+	// CacheTier names the tier that answered: "memory", "disk", or
+	// omitted for a fresh solve.
+	CacheTier string  `json:"cache_tier,omitempty"`
+	ElapsedS  float64 `json:"elapsed_s"`
 	// Assignment maps task → processor (bipartite) or task → hyperedge id
 	// in the posted instance's task-grouped numbering (hypergraph).
 	Assignment []int32 `json:"assignment"`
@@ -145,7 +255,12 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := s.svc.Solve(ctx, instance, r.URL.Query().Get("alg"))
+	info, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	if info == nil {
+		info = &reqInfo{}
+	}
+	info.alg = r.URL.Query().Get("alg")
+	res, err := s.svc.Solve(ctx, instance, info.alg)
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -168,6 +283,10 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case res.Optimal:
 		status = solve.StatusOptimal
 	}
+	info.alg = res.Algorithm
+	info.fingerprint = res.Fingerprint
+	info.tier = res.Tier
+	info.status = status.String()
 	resp := solveResponse{
 		Kind:        res.Kind,
 		Fingerprint: res.Fingerprint,
@@ -179,6 +298,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Truncated:   res.Truncated,
 		Trust:       res.Trust.String(),
 		Cached:      res.Cached,
+		CacheTier:   res.Tier,
 		ElapsedS:    res.Elapsed.Seconds(),
 		Assignment:  res.Assignment,
 		Loads:       res.Loads,
@@ -246,10 +366,26 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.svc.Metrics().WritePrometheus(w)
+}
+
+func (s *server) handleDebugSolves(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
 	writeJSON(w, http.StatusOK, struct {
-		service.Stats
-		UptimeS float64 `json:"uptime_s"`
-	}{s.svc.Stats(), time.Since(s.start).Seconds()})
+		Solves []service.LiveSolve `json:"solves"`
+	}{s.svc.LiveSolves()})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

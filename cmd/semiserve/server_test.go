@@ -38,7 +38,7 @@ const tinyHyperIso = `hypergraph 3 3 5
 func startServer(t *testing.T, opts service.Options) (*httptest.Server, *service.Service) {
 	t.Helper()
 	svc := service.New(opts)
-	ts := httptest.NewServer(newServer(svc, 0, 0, 0))
+	ts := httptest.NewServer(newServer(svc, serverConfig{}))
 	t.Cleanup(ts.Close)
 	return ts, svc
 }
@@ -196,7 +196,7 @@ func TestSolveOverload(t *testing.T) {
 // /solve requests with 429 before any parsing happens.
 func TestSolveHTTPInflightCap(t *testing.T) {
 	svc := service.New(service.Options{})
-	ts := httptest.NewServer(newServer(svc, 0, 1, 0))
+	ts := httptest.NewServer(newServer(svc, serverConfig{maxInflight: 1}))
 	t.Cleanup(ts.Close)
 
 	var wg sync.WaitGroup

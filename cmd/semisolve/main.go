@@ -12,6 +12,8 @@
 //	semisolve instance.txt             # auto policy
 //	semisolve -alg evg instance.txt
 //	semisolve -alg bnb-par -progress hard.txt   # watch incumbents tighten
+//	semisolve -trace spans.ndjson instance.txt  # record the solve's span tree
+//	semisolve -trace - instance.txt    # span tree to stderr, NDJSON to stdout
 //	semisolve -verify instance.txt     # re-check the result's certificate
 //	semisolve -fingerprint instance.txt   # canonical fingerprint, no solve
 package main
@@ -28,6 +30,7 @@ import (
 	"semimatch/internal/encode"
 	"semimatch/internal/registry"
 	"semimatch/internal/solve"
+	"semimatch/internal/telemetry"
 )
 
 func main() {
@@ -36,7 +39,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "with -list-algorithms, emit the catalog as NDJSON (one record per solver)")
 	showLoads := flag.Bool("show-loads", false, "print the per-processor loads")
 	doRefine := flag.Bool("refine", false, "post-process hypergraph schedules with local search")
-	progress := flag.Bool("progress", false, "print incumbent improvements to stderr while the solve runs")
+	progress := flag.Bool("progress", false, "print incumbent improvements and periodic search-progress snapshots to stderr while the solve runs")
+	tracePath := flag.String("trace", "", "record a solve trace and write it as NDJSON spans to this file (\"-\" = stdout, after the summary)")
 	doVerify := flag.Bool("verify", false, "independently verify the result's certificate and print the trust tier")
 	fingerprint := flag.Bool("fingerprint", false, "print the instance's canonical fingerprint and exit without solving")
 	flag.Parse()
@@ -87,6 +91,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "progress: makespan %d by %s after %.3fs%s\n",
 				inc.Makespan, inc.Solver, inc.Elapsed.Seconds(), mark)
 		}))
+		// Periodic search introspection from the exact engine: node
+		// throughput and the incumbent/bound gap, at the engine's default
+		// snapshot interval.
+		opts = append(opts, solve.WithProgress(func(p telemetry.SearchProgress) {
+			gap := ""
+			if p.Gap >= 0 {
+				gap = fmt.Sprintf(", gap %.1f%%", p.Gap*100)
+			}
+			fmt.Fprintf(os.Stderr, "search: %d nodes (%.0f/s), incumbent %d, bound %d%s\n",
+				p.Nodes, p.NodesPerSec, p.Incumbent, p.Bound, gap)
+		}))
+	}
+	if *tracePath != "" {
+		opts = append(opts, solve.WithTrace())
 	}
 
 	if *doVerify {
@@ -122,9 +140,35 @@ func main() {
 			fmt.Printf("P%-5d %d\n", p, l)
 		}
 	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, rep.Trace); err != nil {
+			fail(err)
+		}
+	}
 	if verifyErr != nil {
 		os.Exit(1)
 	}
+}
+
+// writeTrace emits the solve's span tree: the human-readable listing to
+// stderr, the NDJSON form to the named file (or stdout for "-").
+func writeTrace(path string, tr *telemetry.Trace) error {
+	if tr == nil {
+		return errors.New("no trace was recorded")
+	}
+	fmt.Fprint(os.Stderr, tr.Format())
+	if path == "-" {
+		return tr.WriteNDJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

@@ -152,6 +152,30 @@
 // only answers it can prove, even for isomorphic restatements of an
 // instance.
 //
+// # Telemetry: traces and search introspection
+//
+// WithTrace attaches a span tree to the Report — compile, root-bounds,
+// greedy and search phases with their wall times and attributes (nodes,
+// bounds, the winning solver) — and WithProgress streams periodic
+// search-progress snapshots (nodes expanded, nodes/sec, incumbent,
+// bound, optimality gap) from the exact engines:
+//
+//	rep, err := semimatch.Run(ctx, p,
+//	    semimatch.WithTrace(),
+//	    semimatch.WithProgress(func(s semimatch.SearchProgress) {
+//	        log.Printf("%d nodes (%.0f/s), gap %.1f%%", s.Nodes, s.NodesPerSec, s.Gap*100)
+//	    }))
+//	rep.Trace.Format()               // human-readable span listing
+//	rep.Trace.WriteNDJSON(os.Stdout) // one span per line
+//
+// Both are free when unused: spans no-op on nil receivers and progress
+// is polled only at the engines' existing budget checkpoints, so
+// instrumentation never changes node counts. cmd/semiserve layers
+// service-level observability on top — Prometheus-text GET /metrics,
+// live GET /debug/solves introspection, structured access logs, NDJSON
+// request traces and a JSONL solve ledger (see cmd/semiserve and
+// internal/telemetry).
+//
 // See examples/ for runnable programs and cmd/semibench for the
 // experiment harness.
 package semimatch

@@ -215,6 +215,17 @@ func (r *Runner) validate(problems []solve.Problem) error {
 // best schedule so far) and problems that never started carry a "not
 // started" error.
 func (r *Runner) RunProblems(ctx context.Context, problems []solve.Problem) ([]Outcome, error) {
+	return r.RunProblemsWith(ctx, problems, nil)
+}
+
+// RunProblemsWith is RunProblems with a per-solve options hook: mod (nil
+// means none) runs on each problem's solve.Options after the Runner's
+// policy fields are filled, so callers can attach observability — a trace
+// span, a progress hook, a ledger — without owning the policy itself. The
+// service uses it to surface live search introspection from auto solves.
+// mod must be safe for concurrent calls (one per in-flight problem) and
+// must not change fields the Runner owns (Workers, budgets, deadlines).
+func (r *Runner) RunProblemsWith(ctx context.Context, problems []solve.Problem, mod func(*solve.Options)) ([]Outcome, error) {
 	if err := r.validate(problems); err != nil {
 		return nil, err
 	}
@@ -222,7 +233,7 @@ func (r *Runner) RunProblems(ctx context.Context, problems []solve.Problem) ([]O
 	started := make([]bool, len(problems))
 	err := ForEach(ctx, r.opts.workers(), len(problems), func(ctx context.Context, i int) error {
 		started[i] = true
-		outs[i] = r.solveOne(ctx, problems[i])
+		outs[i] = r.solveOne(ctx, problems[i], mod)
 		return nil
 	})
 	for i := range outs {
@@ -258,7 +269,7 @@ func (r *Runner) Run(ctx context.Context, instances []*hypergraph.Hypergraph) ([
 
 // solveOne applies the per-instance policy (solve.RunOptions). It never
 // lets a failure escape: panics and errors end up in the Outcome.
-func (r *Runner) solveOne(ctx context.Context, p solve.Problem) (out Outcome) {
+func (r *Runner) solveOne(ctx context.Context, p solve.Problem, mod func(*solve.Options)) (out Outcome) {
 	start := time.Now()
 	defer func() {
 		if pv := recover(); pv != nil {
@@ -266,7 +277,7 @@ func (r *Runner) solveOne(ctx context.Context, p solve.Problem) (out Outcome) {
 		}
 		out.Elapsed = time.Since(start)
 	}()
-	rep, err := solve.RunOptions(ctx, p, solve.Options{
+	opts := solve.Options{
 		Portfolio: r.opts.Algorithms,
 		Refine:    r.opts.Refine,
 		// The batch pool already owns the cores; nested heuristic fan-out
@@ -276,7 +287,11 @@ func (r *Runner) solveOne(ctx context.Context, p solve.Problem) (out Outcome) {
 		NodeBudget:     r.opts.exactNodes(),
 		ExactTaskLimit: r.opts.ExactTaskLimit,
 		Deadline:       r.opts.InstanceTimeout,
-	})
+	}
+	if mod != nil {
+		mod(&opts)
+	}
+	rep, err := solve.RunOptions(ctx, p, opts)
 	return Outcome{Report: rep, Err: err}
 }
 

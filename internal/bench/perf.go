@@ -34,6 +34,8 @@ import (
 	"semimatch/internal/exact"
 	"semimatch/internal/hypergraph"
 	"semimatch/internal/registry"
+	"semimatch/internal/solve"
+	"semimatch/internal/telemetry"
 )
 
 // PerfFamily is one instance family of the perf grid.
@@ -80,6 +82,15 @@ type PerfOptions struct {
 	MaxNodes int64
 	// Families overrides the grid; nil means DefaultPerfFamilies.
 	Families []PerfFamily
+	// Ledger, when non-nil, receives one solve-ledger record per measured
+	// solve (source "bench") — the training data for instance-aware
+	// algorithm selection.
+	Ledger *telemetry.Ledger
+	// Trace attaches a telemetry span to every measured solve. Node
+	// counts are unchanged by construction (the engines hook progress and
+	// spans at existing checkpoints only); recording a BENCH with Trace
+	// on doubles as the overhead proof — see EXPERIMENTS.md.
+	Trace bool
 }
 
 func (o PerfOptions) workers() int {
@@ -302,6 +313,13 @@ func RunPerf(ctx context.Context, o PerfOptions) (*PerfReport, error) {
 					BnB:     exact.Options{MaxNodes: o.maxNodes(), Stats: &st},
 					Workers: workers,
 				}
+				var tr *telemetry.Span
+				if o.Trace {
+					tr = telemetry.StartSpan("bench-solve")
+					tr.SetAttr("case", caseName)
+					tr.SetAttr("solver", sol.Name)
+					opts.BnB.Trace = tr
+				}
 				start := time.Now()
 				var m int64
 				var solveErr error
@@ -319,6 +337,7 @@ func RunPerf(ctx context.Context, o PerfOptions) (*PerfReport, error) {
 					}
 				}
 				wall := time.Since(start).Seconds()
+				tr.End()
 				if solveErr != nil && !registry.IncumbentError(solveErr) {
 					return PerfCase{}, fmt.Errorf("bench: %s: %s: %w", caseName, sol.Name, solveErr)
 				}
@@ -345,6 +364,30 @@ func RunPerf(ctx context.Context, o PerfOptions) (*PerfReport, error) {
 				}
 				if wall > 0 {
 					pc.NodesPerSec = float64(st.Nodes) / wall
+				}
+				if o.Ledger != nil {
+					var feats telemetry.InstanceFeatures
+					if fam.Class == registry.SingleProc {
+						feats = solve.Features(solve.Bipartite(g))
+					} else {
+						feats = solve.Features(solve.Hyper(h))
+					}
+					status := "optimal"
+					if solveErr != nil {
+						status = "truncated"
+					}
+					if err := o.Ledger.Append(telemetry.SolveRecord{
+						Source:           "bench",
+						InstanceFeatures: feats,
+						Algorithm:        sol.Name,
+						WallS:            wall,
+						Nodes:            st.Nodes,
+						Makespan:         m,
+						Bound:            st.Bound,
+						Status:           status,
+					}); err != nil {
+						return PerfCase{}, fmt.Errorf("bench: ledger: %w", err)
+					}
 				}
 				return pc, nil
 			}

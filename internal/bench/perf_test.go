@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"semimatch/internal/registry"
+	"semimatch/internal/telemetry"
 )
 
 // tinyPerfOptions keeps the grid small enough for CI: the instances are
@@ -84,6 +85,64 @@ func TestWritePerfJSONRoundTrips(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "\"speedup_vs_seq\"") {
 		t.Fatal("parallel rows should carry speedup_vs_seq")
+	}
+}
+
+// TestRunPerfLedgerAndTraceInvariance runs the tiny grid twice — once
+// plain, once with tracing and a ledger — and checks (a) the ledger got
+// one well-formed record per measured solve and (b) sequential node
+// counts are bit-identical with tracing on, the invariant BENCH_5.json
+// is recorded under.
+func TestRunPerfLedgerAndTraceInvariance(t *testing.T) {
+	plain, err := RunPerf(context.Background(), tinyPerfOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	opts := tinyPerfOptions()
+	opts.Trace = true
+	opts.Ledger = telemetry.NewLedger(&buf)
+	traced, err := RunPerf(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opts.Ledger.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := telemetry.ReadLedger(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(traced.Cases) {
+		t.Fatalf("ledger has %d records for %d cases", len(recs), len(traced.Cases))
+	}
+	for _, rec := range recs {
+		if rec.Source != "bench" {
+			t.Fatalf("record source = %q, want bench", rec.Source)
+		}
+		if rec.Algorithm == "" || rec.Status != "optimal" || rec.Makespan <= 0 {
+			t.Fatalf("degenerate ledger record: %+v", rec)
+		}
+		if rec.Tasks != 8 || rec.Procs != 3 {
+			t.Fatalf("record features wrong: %+v", rec.InstanceFeatures)
+		}
+	}
+
+	seq := map[string]int64{}
+	for _, c := range plain.Cases {
+		if !strings.Contains(c.Solver, "Par") {
+			seq[c.Case] = c.Nodes
+		}
+	}
+	for _, c := range traced.Cases {
+		if strings.Contains(c.Solver, "Par") {
+			continue
+		}
+		if want, ok := seq[c.Case]; !ok || c.Nodes != want {
+			t.Fatalf("case %s: traced run expanded %d nodes, plain run %d — tracing perturbed the search", c.Case, c.Nodes, want)
+		}
 	}
 }
 

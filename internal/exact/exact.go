@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"semimatch/internal/adversarial"
 	"semimatch/internal/bipartite"
@@ -30,6 +31,7 @@ import (
 	"semimatch/internal/core"
 	"semimatch/internal/exact/flatcore"
 	"semimatch/internal/hypergraph"
+	"semimatch/internal/telemetry"
 )
 
 // ErrLimit reports that the node budget was exhausted before the search
@@ -66,6 +68,23 @@ type Options struct {
 	// solvers serialize calls across workers; the callback must not block
 	// for long and must not panic (wrap it if it may).
 	Observer func(makespan int64, assignment []int32)
+	// Trace, when non-nil, receives the solve's phase spans as children:
+	// "compile" (with a "root-bounds" child covering the packing/matching
+	// bound computation), "greedy" (the initial incumbent), and "search"
+	// with attributes nodes, incumbent_entry/incumbent_exit, bound,
+	// witness, workers, and — parallel — steals and subproblems. Spans
+	// are created per phase, never per node.
+	Trace *telemetry.Span
+	// Progress, when non-nil, receives periodic SearchProgress snapshots
+	// during the search, polled at the same budget-block checkpoints as
+	// Observer (never per node) and rate-limited by ProgressInterval, so
+	// node counts are identical with and without the hook. One final
+	// snapshot is delivered when the search ends. Calls are serialized;
+	// the callback must return quickly and must not panic.
+	Progress telemetry.ProgressFunc
+	// ProgressInterval is the minimum wall time between Progress
+	// snapshots; 0 means telemetry.DefaultProgressInterval.
+	ProgressInterval time.Duration
 }
 
 // SearchStats reports how much work a branch-and-bound search did — the
@@ -118,6 +137,53 @@ func witnessFor(complete bool, b flatcore.Bounds, makespan int64) (int64, cert.W
 	}
 }
 
+// compileSpan wraps one compile phase for tracing (all nil-safe): a
+// "compile" child of tr whose own "root-bounds" child carries the time
+// spent in the packing/matching bound computation, measured inside the
+// compiler (boundsWall).
+func compileSpan(tr *telemetry.Span, start time.Time, boundsWall time.Duration) {
+	cs := tr.AddChild("compile", start, time.Since(start))
+	cs.AddChild("root-bounds", time.Now().Add(-boundsWall), boundsWall)
+}
+
+// startSearchSpan opens the "search" child span with its entry
+// attributes: the incumbent the search starts from and the root bound.
+func startSearchSpan(tr *telemetry.Span, sh *parShared) *telemetry.Span {
+	ss := tr.StartChild("search")
+	ss.SetAttr("incumbent_entry", sh.bestM)
+	ss.SetAttr("bound", sh.rootLB)
+	return ss
+}
+
+// finishSearch grades a finished search exactly once — filling
+// Options.Stats (when requested) and closing the "search" span with its
+// exit attributes. Called after all workers quiesce.
+func finishSearch(opts Options, ss *telemetry.Span, sh *parShared, b flatcore.Bounds, workers int, subproblems int64) {
+	complete := sh.closed.Load() || (!sh.exhausted.Load() && !sh.cancelled.Load())
+	bound, wit := witnessFor(complete, b, sh.bestM)
+	stats := SearchStats{
+		Nodes:       sh.nodes.Load(),
+		Workers:     workers,
+		Subproblems: subproblems,
+		Steals:      sh.steals.Load(),
+		Bound:       bound,
+		Witness:     wit,
+	}
+	if opts.Stats != nil {
+		*opts.Stats = stats
+	}
+	ss.SetAttr("nodes", stats.Nodes)
+	ss.SetAttr("incumbent_exit", sh.bestM)
+	ss.SetAttr("bound", bound)
+	ss.SetAttr("witness", wit.String())
+	ss.SetAttr("workers", workers)
+	if workers > 1 {
+		ss.SetAttr("subproblems", stats.Subproblems)
+		ss.SetAttr("steals", stats.Steals)
+	}
+	ss.End()
+}
+
 func (o Options) maxNodes() int64 {
 	if o.MaxNodes <= 0 {
 		return 20_000_000
@@ -166,13 +232,21 @@ func SolveSingleProcCtx(ctx context.Context, g *bipartite.Graph, opts Options) (
 		return core.Assignment{}, 0, nil
 	}
 
+	compileStart := time.Now()
 	pr := flatcore.CompileSP(g)
+	compileSpan(opts.Trace, compileStart, pr.BoundsWall)
+	gs := opts.Trace.StartChild("greedy")
 	inc := core.SortedGreedy(g, core.GreedyOptions{})
-	sh := newParShared(inc, core.Makespan(g, inc), opts.maxNodes(), 1)
+	m0 := core.Makespan(g, inc)
+	gs.SetAttr("makespan", m0)
+	gs.End()
+	sh := newParShared(inc, m0, opts.maxNodes(), 1)
 	sh.rootLB = pr.Bounds.Root()
 	sh.obsFn = opts.Observer
+	sh.setProgress(opts.Progress, opts.ProgressInterval)
 	sh.closeIfOptimal()
 	sh.observe() // the initial greedy incumbent
+	ss := startSearchSpan(opts.Trace, sh)
 	if !sh.closed.Load() {
 		release := watchCancel(ctx, sh)
 		s := newSPState(pr, sh)
@@ -183,11 +257,8 @@ func SolveSingleProcCtx(ctx context.Context, g *bipartite.Graph, opts Options) (
 		release()
 	}
 	sh.observe() // flush the final incumbent to the observer
-	if opts.Stats != nil {
-		complete := sh.closed.Load() || (!sh.exhausted.Load() && !sh.cancelled.Load())
-		bound, wit := witnessFor(complete, pr.Bounds, sh.bestM)
-		*opts.Stats = SearchStats{Nodes: sh.nodes.Load(), Workers: 1, Bound: bound, Witness: wit}
-	}
+	sh.progressFinal()
+	finishSearch(opts, ss, sh, pr.Bounds, 1, 0)
 	return append(core.Assignment(nil), sh.bestA...), sh.bestM, sh.err(ctx)
 }
 
@@ -213,13 +284,21 @@ func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Optio
 		}
 	}
 
+	compileStart := time.Now()
 	pr := flatcore.CompileMP(h)
+	compileSpan(opts.Trace, compileStart, pr.BoundsWall)
+	gs := opts.Trace.StartChild("greedy")
 	inc := core.SortedGreedyHyp(h, core.HyperOptions{})
-	sh := newParShared(inc, core.HyperMakespan(h, inc), opts.maxNodes(), 1)
+	m0 := core.HyperMakespan(h, inc)
+	gs.SetAttr("makespan", m0)
+	gs.End()
+	sh := newParShared(inc, m0, opts.maxNodes(), 1)
 	sh.rootLB = pr.Bounds.Root()
 	sh.obsFn = opts.Observer
+	sh.setProgress(opts.Progress, opts.ProgressInterval)
 	sh.closeIfOptimal()
 	sh.observe() // the initial greedy incumbent
+	ss := startSearchSpan(opts.Trace, sh)
 	if !sh.closed.Load() {
 		release := watchCancel(ctx, sh)
 		s := newMPState(pr, sh)
@@ -230,11 +309,8 @@ func SolveMultiProcCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Optio
 		release()
 	}
 	sh.observe() // flush the final incumbent to the observer
-	if opts.Stats != nil {
-		complete := sh.closed.Load() || (!sh.exhausted.Load() && !sh.cancelled.Load())
-		bound, wit := witnessFor(complete, pr.Bounds, sh.bestM)
-		*opts.Stats = SearchStats{Nodes: sh.nodes.Load(), Workers: 1, Bound: bound, Witness: wit}
-	}
+	sh.progressFinal()
+	finishSearch(opts, ss, sh, pr.Bounds, 1, 0)
 	return append(core.HyperAssignment(nil), sh.bestA...), sh.bestM, sh.err(ctx)
 }
 

@@ -2,6 +2,7 @@ package flatcore
 
 import (
 	"sort"
+	"time"
 
 	"semimatch/internal/flow"
 	"semimatch/internal/hypergraph"
@@ -56,7 +57,10 @@ type MP struct {
 	SuffixAvg []int64
 	SuffixMax []int64
 	MaxSize   int
-	Bounds    Bounds
+	// Bounds is the root lower-bound set; BoundsWall is how long it took
+	// to compute inside CompileMP (the "root-bounds" trace span).
+	Bounds     Bounds
+	BoundsWall time.Duration
 	// UseFlow enables CompletePrune at subproblem expansions;
 	// MinLoadScan enables the per-node min-load refinement.
 	UseFlow     bool
@@ -198,6 +202,7 @@ func CompileMP(h *hypergraph.Hypergraph) *MP {
 	}
 
 	if n > 0 && p > 0 {
+		boundsStart := time.Now()
 		pr.Bounds = Bounds{
 			Avg:     (pr.SuffixAvg[0] + int64(p) - 1) / int64(p),
 			MaxElem: pr.SuffixMax[0],
@@ -206,6 +211,7 @@ func CompileMP(h *hypergraph.Hypergraph) *MP {
 		if n <= MatchCap {
 			pr.Bounds.Match = lb.MatchingHyper(h)
 		}
+		pr.BoundsWall = time.Since(boundsStart)
 	}
 	pr.UseFlow = n > 0 && n <= MatchCap
 	pr.MinLoadScan = p > 1 && p <= MinLoadCap

@@ -2,6 +2,7 @@ package flatcore
 
 import (
 	"sort"
+	"time"
 
 	"semimatch/internal/bipartite"
 	"semimatch/internal/flow"
@@ -46,7 +47,10 @@ type SP struct {
 	SuffixAvg []int64
 	SuffixMax []int64
 	// Bounds is the root lower-bound set; Root() is the strongest.
-	Bounds Bounds
+	// BoundsWall is how long computing it took inside CompileSP — the
+	// telemetry layer reports it as the "root-bounds" trace span.
+	Bounds     Bounds
+	BoundsWall time.Duration
 	// UseFlow enables the completion prune (CompletePrune) at subproblem
 	// expansions; MinLoadScan enables the per-node min-load refinement.
 	UseFlow     bool
@@ -161,6 +165,7 @@ func CompileSP(g *bipartite.Graph) *SP {
 	}
 
 	if n > 0 && p > 0 {
+		boundsStart := time.Now()
 		items := make([]int64, n)
 		for i := range items {
 			items[i] = pr.ChildWt[pr.ChildPtr[i]]
@@ -173,6 +178,7 @@ func CompileSP(g *bipartite.Graph) *SP {
 		if n <= MatchCap {
 			pr.Bounds.Match = lb.MatchingGraph(g)
 		}
+		pr.BoundsWall = time.Since(boundsStart)
 	}
 	pr.UseFlow = n > 0 && n <= MatchCap
 	pr.MinLoadScan = p > 1 && p <= MinLoadCap

@@ -52,6 +52,7 @@ import (
 	"semimatch/internal/core"
 	"semimatch/internal/exact/flatcore"
 	"semimatch/internal/hypergraph"
+	"semimatch/internal/telemetry"
 )
 
 const (
@@ -87,6 +88,8 @@ type parShared struct {
 	steals    atomic.Int64
 	splits    atomic.Int64
 	pending   atomic.Int64 // subproblems not yet fully processed
+	frontierN atomic.Int64 // size of the initial shallow frontier
+	workers   int
 
 	mu    sync.Mutex
 	bestM int64 // makespan of bestA; equals best once workers quiesce
@@ -100,7 +103,98 @@ type parShared struct {
 	obsSent atomic.Int64
 	obsMu   sync.Mutex
 
+	// Progress snapshot plumbing: progFn is Options.Progress, polled at
+	// the same budget-block checkpoints as the observer and rate-limited
+	// to progEvery nanoseconds by a CAS on progLast, so snapshots never
+	// touch the per-node hot path and never perturb node counts. progMu
+	// serializes deliveries.
+	progFn    telemetry.ProgressFunc
+	progEvery int64
+	progStart time.Time
+	progLast  atomic.Int64 // unix nanos of the last claimed snapshot
+	progMu    sync.Mutex
+
 	deques []wsDeque
+}
+
+// setProgress installs the periodic progress hook before the search
+// starts.
+func (sh *parShared) setProgress(fn telemetry.ProgressFunc, every time.Duration) {
+	if fn == nil {
+		return
+	}
+	if every <= 0 {
+		every = telemetry.DefaultProgressInterval
+	}
+	sh.progFn = fn
+	sh.progEvery = int64(every)
+	sh.progStart = time.Now()
+	sh.progLast.Store(sh.progStart.UnixNano())
+}
+
+// progressTick emits a snapshot if at least progEvery has elapsed since
+// the last one; the CAS lets exactly one racing worker claim each
+// interval. Called at budget-block boundaries only.
+func (sh *parShared) progressTick() {
+	if sh.progFn == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := sh.progLast.Load()
+	if now-last < sh.progEvery || !sh.progLast.CompareAndSwap(last, now) {
+		return
+	}
+	sh.emitProgress()
+}
+
+// progressFinal emits one last snapshot unconditionally; the solvers
+// call it after the pool quiesces so a finished solve always reports
+// its terminal state.
+func (sh *parShared) progressFinal() {
+	if sh.progFn == nil {
+		return
+	}
+	sh.emitProgress()
+}
+
+func (sh *parShared) emitProgress() {
+	// The counters are read under progMu so deliveries are monotone:
+	// two workers claiming back-to-back intervals cannot publish their
+	// snapshots in the wrong order.
+	sh.progMu.Lock()
+	defer sh.progMu.Unlock()
+	elapsed := time.Since(sh.progStart)
+	nodes := sh.nodes.Load()
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(nodes) / s
+	}
+	inc := sh.best.Load()
+	gap := -1.0
+	if sh.rootLB > 0 {
+		gap = float64(inc-sh.rootLB) / float64(sh.rootLB)
+	} else if inc == 0 {
+		gap = 0
+	}
+	p := telemetry.SearchProgress{
+		Elapsed:     elapsed,
+		Nodes:       nodes,
+		NodesPerSec: rate,
+		Incumbent:   inc,
+		Bound:       sh.rootLB,
+		Gap:         gap,
+		Workers:     sh.workers,
+		Steals:      sh.steals.Load(),
+		Subproblems: sh.frontierN.Load() + sh.splits.Load(),
+		Pending:     sh.pending.Load(),
+	}
+	if len(sh.deques) > 1 {
+		p.DequeDepths = make([]int, len(sh.deques))
+		for i := range sh.deques {
+			p.DequeDepths[i] = sh.deques[i].depth()
+		}
+	}
+	sh.progFn(p)
 }
 
 // observe delivers the current incumbent to the observer if it improves
@@ -130,9 +224,10 @@ func (sh *parShared) observe() {
 
 func newParShared(incumbent []int32, m int64, maxNodes int64, workers int) *parShared {
 	sh := &parShared{
-		bestM:  m,
-		bestA:  append([]int32(nil), incumbent...),
-		deques: make([]wsDeque, workers),
+		bestM:   m,
+		bestA:   append([]int32(nil), incumbent...),
+		deques:  make([]wsDeque, workers),
+		workers: workers,
 	}
 	sh.best.Store(m)
 	sh.budget.Store(maxNodes)
@@ -241,8 +336,17 @@ func (tk *ticker) node() bool {
 	}
 	if tk.local == 0 {
 		// Block boundary: the only periodic checkpoint a worker hits, so
-		// the incumbent observer is polled here too.
+		// the incumbent observer and the progress hook are polled here
+		// too. With a progress hook installed the in-flight expansion
+		// count is flushed first so snapshots see fresh totals; the flush
+		// moves counts a worker would publish anyway, so final node
+		// counts are bit-identical with and without the hook.
 		tk.sh.observe()
+		if tk.sh.progFn != nil {
+			tk.sh.nodes.Add(tk.expanded)
+			tk.expanded = 0
+			tk.sh.progressTick()
+		}
 		if tk.local = tk.sh.claimBlock(); tk.local == 0 {
 			return true
 		}
@@ -274,6 +378,15 @@ type wsDeque struct {
 	mu    sync.Mutex
 	head  int
 	items [][]int32
+}
+
+// depth reports how many subproblems are currently queued — the live
+// introspection view of a worker's backlog.
+func (d *wsDeque) depth() int {
+	d.mu.Lock()
+	n := len(d.items) - d.head
+	d.mu.Unlock()
+	return n
 }
 
 func (d *wsDeque) push(p []int32) {
@@ -337,6 +450,7 @@ type parSearcher interface {
 // blocks until the search is exhausted or stopped.
 func runPool(sh *parShared, newSearcher func() parSearcher, frontier [][]int32, workers, frontierDepth int) {
 	sh.pending.Store(int64(len(frontier)))
+	sh.frontierN.Store(int64(len(frontier)))
 	for i, p := range frontier {
 		sh.deques[i%workers].push(p)
 	}
@@ -782,14 +896,22 @@ func SolveSingleProcParCtx(ctx context.Context, g *bipartite.Graph, opts Options
 		return core.Assignment{}, 0, nil
 	}
 
+	compileStart := time.Now()
 	pr := flatcore.CompileSP(g)
+	compileSpan(opts.Trace, compileStart, pr.BoundsWall)
+	gs := opts.Trace.StartChild("greedy")
 	inc := core.SortedGreedy(g, core.GreedyOptions{})
+	m0 := core.Makespan(g, inc)
+	gs.SetAttr("makespan", m0)
+	gs.End()
 	workers := opts.workers()
-	sh := newParShared(inc, core.Makespan(g, inc), opts.maxNodes(), workers)
+	sh := newParShared(inc, m0, opts.maxNodes(), workers)
 	sh.rootLB = pr.Bounds.Root()
 	sh.obsFn = opts.Observer
+	sh.setProgress(opts.Progress, opts.ProgressInterval)
 	sh.closeIfOptimal()
 	sh.observe() // the initial greedy incumbent
+	ss := startSearchSpan(opts.Trace, sh)
 	var frontier [][]int32
 	if !sh.closed.Load() {
 		release := watchCancel(ctx, sh)
@@ -805,18 +927,8 @@ func SolveSingleProcParCtx(ctx context.Context, g *bipartite.Graph, opts Options
 		release()
 	}
 	sh.observe() // flush the final incumbent to the observer
-	if opts.Stats != nil {
-		complete := sh.closed.Load() || (!sh.exhausted.Load() && !sh.cancelled.Load())
-		bound, wit := witnessFor(complete, pr.Bounds, sh.bestM)
-		*opts.Stats = SearchStats{
-			Nodes:       sh.nodes.Load(),
-			Workers:     workers,
-			Subproblems: int64(len(frontier)) + sh.splits.Load(),
-			Steals:      sh.steals.Load(),
-			Bound:       bound,
-			Witness:     wit,
-		}
-	}
+	sh.progressFinal()
+	finishSearch(opts, ss, sh, pr.Bounds, workers, int64(len(frontier))+sh.splits.Load())
 	return append(core.Assignment(nil), sh.bestA...), sh.bestM, sh.err(ctx)
 }
 
@@ -1163,14 +1275,22 @@ func SolveMultiProcParCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Op
 		}
 	}
 
+	compileStart := time.Now()
 	pr := flatcore.CompileMP(h)
+	compileSpan(opts.Trace, compileStart, pr.BoundsWall)
+	gs := opts.Trace.StartChild("greedy")
 	inc := core.SortedGreedyHyp(h, core.HyperOptions{})
+	m0 := core.HyperMakespan(h, inc)
+	gs.SetAttr("makespan", m0)
+	gs.End()
 	workers := opts.workers()
-	sh := newParShared(inc, core.HyperMakespan(h, inc), opts.maxNodes(), workers)
+	sh := newParShared(inc, m0, opts.maxNodes(), workers)
 	sh.rootLB = pr.Bounds.Root()
 	sh.obsFn = opts.Observer
+	sh.setProgress(opts.Progress, opts.ProgressInterval)
 	sh.closeIfOptimal()
 	sh.observe() // the initial greedy incumbent
+	ss := startSearchSpan(opts.Trace, sh)
 	var frontier [][]int32
 	if !sh.closed.Load() {
 		release := watchCancel(ctx, sh)
@@ -1186,17 +1306,7 @@ func SolveMultiProcParCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Op
 		release()
 	}
 	sh.observe() // flush the final incumbent to the observer
-	if opts.Stats != nil {
-		complete := sh.closed.Load() || (!sh.exhausted.Load() && !sh.cancelled.Load())
-		bound, wit := witnessFor(complete, pr.Bounds, sh.bestM)
-		*opts.Stats = SearchStats{
-			Nodes:       sh.nodes.Load(),
-			Workers:     workers,
-			Subproblems: int64(len(frontier)) + sh.splits.Load(),
-			Steals:      sh.steals.Load(),
-			Bound:       bound,
-			Witness:     wit,
-		}
-	}
+	sh.progressFinal()
+	finishSearch(opts, ss, sh, pr.Bounds, workers, int64(len(frontier))+sh.splits.Load())
 	return append(core.HyperAssignment(nil), sh.bestA...), sh.bestM, sh.err(ctx)
 }

@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,7 @@ import (
 	"semimatch/internal/hypergraph"
 	"semimatch/internal/registry"
 	"semimatch/internal/solve"
+	"semimatch/internal/telemetry"
 )
 
 // Defaults for the zero Options value.
@@ -103,6 +105,17 @@ type Options struct {
 	// refinement, exact-attempt limits). Workers and InstanceTimeout are
 	// ignored: the service supplies its own concurrency and deadlines.
 	Batch batch.Options
+	// LedgerPath appends one JSONL telemetry.SolveRecord per fresh solve
+	// (cache and disk hits excluded — the ledger already has those solves)
+	// to the named file; empty disables the ledger. An open failure
+	// disables it too and is surfaced through
+	// semimatch_ledger_errors_total.
+	LedgerPath string
+	// TraceWriter, when non-nil, receives one NDJSON span tree per
+	// request: canonicalize, queue-wait, the adopted solve trace, verify
+	// and cache-admission phases under a "request" root. Writes are
+	// serialized; the writer need not be concurrency-safe.
+	TraceWriter io.Writer
 }
 
 func (o Options) cacheEntries() int {
@@ -172,6 +185,10 @@ type Result struct {
 	// Cached reports that this result was served from a cache tier
 	// (memory or disk) rather than a fresh solve.
 	Cached bool
+	// Tier names the cache tier that answered this request: "memory",
+	// "disk", or "" for a fresh solve. Access logs and traces use it;
+	// Cached == (Tier != "").
+	Tier string
 	// Elapsed is the wall-clock solve time (zero-ish for cache hits).
 	Elapsed time.Duration
 
@@ -216,7 +233,13 @@ type Stats struct {
 	DiskReaped      uint64 `json:"disk_reaped"`
 	InFlight        int64  `json:"in_flight"`
 	QueueDepth      int    `json:"queue_depth"`
-	Workers         int    `json:"workers"`
+	// QueueLen is the number of admission slots held right now — solves
+	// queued or running; QueueDepth − QueueLen is the remaining headroom
+	// before requests shed.
+	QueueLen int `json:"queue_len"`
+	Workers  int `json:"workers"`
+	// UptimeS is seconds since the service was constructed.
+	UptimeS float64 `json:"uptime_s"`
 }
 
 // Service is a reusable, concurrency-safe solving service.
@@ -244,6 +267,21 @@ type Service struct {
 	overloaded     atomic.Uint64
 	verifyFailures atomic.Uint64
 	inFlight       atomic.Int64
+
+	// Observability (internal/telemetry): the metrics registry and the
+	// queue-wait histogram it owns, the node counter behind
+	// semimatch_search_nodes_total, the live-solves table behind
+	// GET /debug/solves, the solve ledger, and the request-trace sink.
+	start        time.Time
+	metrics      *telemetry.Registry
+	queueWait    *telemetry.Histogram
+	searchNodes  atomic.Uint64
+	ledgerErrors atomic.Uint64
+	ledger       *telemetry.Ledger
+	traceW       io.Writer
+	traceMu      sync.Mutex
+	liveMu       sync.Mutex
+	live         map[string]*liveEntry
 
 	// solveFn is the dispatch stage, replaceable by tests.
 	solveFn func(ctx context.Context, req *request) (*Result, error)
@@ -274,10 +312,22 @@ func New(opts Options) *Service {
 		workers:       make(chan struct{}, opts.workers()),
 		solverWorkers: solverWorkers,
 		flights:       make(map[string]*flight),
+		start:         time.Now(),
+		traceW:        opts.TraceWriter,
+		live:          make(map[string]*liveEntry),
 	}
 	if opts.CacheDir != "" {
 		s.disk = newDiskCache(opts.CacheDir)
 	}
+	if opts.LedgerPath != "" {
+		l, err := telemetry.OpenLedger(opts.LedgerPath)
+		if err != nil {
+			s.ledgerErrors.Add(1)
+		} else {
+			s.ledger = l
+		}
+	}
+	s.newMetrics()
 	s.solveFn = s.dispatch
 	return s
 }
@@ -292,6 +342,7 @@ type request struct {
 	sol   *registry.Solver       // nil for the hypergraph auto policy
 	alg   string                 // algorithm label used in keys and results
 	fp    string                 // canonical fingerprint
+	trace *telemetry.Span        // request span; nil without a TraceWriter
 }
 
 // problem wraps the canonical instance as a solve.Problem for dispatch.
@@ -318,10 +369,24 @@ func (req *request) instance() any {
 // Truncated) rather than failing, as long as any schedule was found.
 func (s *Service) Solve(ctx context.Context, instance any, algorithm string) (*Result, error) {
 	s.requests.Add(1)
+	var rs *telemetry.Span
+	if s.traceW != nil {
+		rs = telemetry.StartSpan("request")
+	}
+	canonStart := time.Now()
 	req, err := s.newRequest(instance, algorithm)
 	if err != nil {
+		s.emitTrace(rs, "bad-request")
 		return nil, err
 	}
+	rs.AddChild("canonicalize", canonStart, time.Since(canonStart))
+	rs.SetAttr("fingerprint", req.fp)
+	rs.SetAttr("algorithm", req.alg)
+	req.trace = rs
+	// The span's outcome attribute names how this request was answered;
+	// the deferred emit covers every return path below.
+	outcome := "error"
+	defer func() { s.emitTrace(rs, outcome) }()
 
 	ictx := ctx
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline && s.opts.DefaultDeadline > 0 {
@@ -334,7 +399,8 @@ func (s *Service) Solve(ctx context.Context, instance any, algorithm string) (*R
 	var f *flight
 	for {
 		if res, ok := s.cache.get(key); ok {
-			return req.deliver(res, true), nil
+			outcome = "cache-hit"
+			return req.deliver(res, "memory"), nil
 		}
 
 		// Single flight: the first request for a key becomes the leader
@@ -353,7 +419,8 @@ func (s *Service) Solve(ctx context.Context, instance any, algorithm string) (*R
 		select {
 		case <-leader.done:
 			if leader.err == nil {
-				return req.deliver(leader.res, leader.res.fromDisk), nil
+				outcome = "coalesced"
+				return req.deliver(leader.res, diskTier(leader.res)), nil
 			}
 			// The leader's failure may be its own: a leader whose request
 			// context died mid-solve fails with a context error that says
@@ -385,10 +452,13 @@ func (s *Service) Solve(ctx context.Context, instance any, algorithm string) (*R
 			// certificate survived verification are stored. The store
 			// happens before the flight is removed, so no request can slip
 			// between flight teardown and cache visibility and re-solve.
+			cs := req.trace.StartChild("cache-admission")
 			s.cache.put(key, f.res)
 			if s.disk != nil && !f.res.fromDisk {
 				s.disk.put(key, f.res)
+				cs.SetAttr("disk", true)
 			}
+			cs.End()
 		}
 		s.flightMu.Lock()
 		delete(s.flights, key)
@@ -399,7 +469,21 @@ func (s *Service) Solve(ctx context.Context, instance any, algorithm string) (*R
 	if f.err != nil {
 		return nil, f.err
 	}
-	return req.deliver(f.res, f.res.fromDisk), nil
+	if f.res.fromDisk {
+		outcome = "disk-hit"
+	} else {
+		outcome = "solved"
+	}
+	return req.deliver(f.res, diskTier(f.res)), nil
+}
+
+// diskTier is the cache-tier label of a leader's own result: "disk" when
+// the durable tier answered, "" for a fresh solve.
+func diskTier(res *Result) string {
+	if res.fromDisk {
+		return "disk"
+	}
+	return ""
 }
 
 // leaderSolve is the single-flight leader's path: consult the durable
@@ -416,7 +500,10 @@ func (s *Service) leaderSolve(ctx context.Context, req *request, key string) (*R
 	if err != nil {
 		return nil, err
 	}
+	vs := req.trace.StartChild("verify")
 	s.verifyFresh(req, res)
+	vs.SetAttr("trust", res.Trust.String())
+	vs.End()
 	return res, nil
 }
 
@@ -491,7 +578,9 @@ func (s *Service) Stats() Stats {
 		VerifyFailures: s.verifyFailures.Load(),
 		InFlight:       s.inFlight.Load(),
 		QueueDepth:     s.opts.queueDepth(),
+		QueueLen:       len(s.queue),
 		Workers:        s.opts.workers(),
+		UptimeS:        time.Since(s.start).Seconds(),
 	}
 	if s.disk != nil {
 		st.DiskHits, st.DiskMisses, st.DiskWrites, st.DiskWriteErrors, st.DiskReaped = s.disk.counters()
@@ -569,11 +658,13 @@ func (s *Service) newRequest(instance any, algorithm string) (*request, error) {
 
 // deliver adapts a (possibly shared, canonical-numbered) result to one
 // requester: hypergraph assignments are translated to the requester's own
-// hyperedge numbering, and the Cached flag is stamped.
-func (req *request) deliver(res *Result, cached bool) *Result {
+// hyperedge numbering, and the cache tier ("memory", "disk" or "" for a
+// fresh solve) is stamped.
+func (req *request) deliver(res *Result, tier string) *Result {
 	out := *res
-	out.Cached = cached
-	if cached {
+	out.Cached = tier != ""
+	out.Tier = tier
+	if out.Cached {
 		out.Elapsed = 0 // the documented "≈0 for hits": no solve ran
 	}
 	if req.inv != nil && out.Assignment != nil {
@@ -607,12 +698,16 @@ func (s *Service) admitAndSolve(ctx context.Context, req *request) (*Result, err
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
+	waitStart := time.Now()
 	select {
 	case s.workers <- struct{}{}:
 	case <-ctx.Done():
 		return nil, fmt.Errorf("service: abandoned in queue: %w", ctx.Err())
 	}
 	defer func() { <-s.workers }()
+	wait := time.Since(waitStart)
+	s.queueWait.Observe(wait.Seconds())
+	req.trace.AddChild("queue-wait", waitStart, wait)
 
 	s.solves.Add(1)
 	res, err := func() (res *Result, err error) {
@@ -642,15 +737,21 @@ func (s *Service) dispatch(ctx context.Context, req *request) (*Result, error) {
 	start := time.Now()
 	res := &Result{Kind: req.kind, Fingerprint: req.fp, Algorithm: req.alg}
 	problem := req.problem()
+	liveKey, hook := s.trackLive(req)
+	defer s.untrackLive(liveKey)
 	switch {
 	case req.sol != nil:
 		rep, err := solve.RunOptions(ctx, problem, solve.Options{
 			Algorithm: req.sol.Name,
 			Workers:   s.solverWorkers,
+			Trace:     req.trace != nil,
+			Progress:  hook,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("service: %s: %w", req.alg, err)
 		}
+		req.trace.Adopt(rep.Trace)
+		s.recordSolve(req, problem, rep)
 		res.Optimal = rep.Status == solve.StatusOptimal
 		res.Truncated = rep.Status == solve.StatusTruncated
 		res.Assignment = rep.Assignment
@@ -661,8 +762,14 @@ func (s *Service) dispatch(ctx context.Context, req *request) (*Result, error) {
 	default:
 		// The auto policy reuses the batch pipeline on a one-problem
 		// batch: heuristic race first, exact branch-and-bound when small
-		// enough, best-so-far fallback when the deadline expires.
-		outs, runErr := s.runner.RunProblems(ctx, []solve.Problem{problem})
+		// enough, best-so-far fallback when the deadline expires. The
+		// options hook attaches this request's observability — the trace
+		// span and the live-progress feed — without touching the policy.
+		outs, runErr := s.runner.RunProblemsWith(ctx, []solve.Problem{problem},
+			func(o *solve.Options) {
+				o.Trace = req.trace != nil
+				o.Progress = hook
+			})
 		if len(outs) != 1 {
 			// RunProblems failed up front (e.g. Options.Batch names an
 			// unknown portfolio algorithm) and produced no per-problem
@@ -677,6 +784,8 @@ func (s *Service) dispatch(ctx context.Context, req *request) (*Result, error) {
 			}
 			return nil, errors.New("service: auto solve produced no schedule")
 		}
+		req.trace.Adopt(rep.Trace)
+		s.recordSolve(req, problem, rep)
 		res.Algorithm = "auto:" + batch.SourceLabel(rep)
 		res.Assignment = rep.Assignment
 		res.Loads = rep.Loads

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"semimatch/internal/telemetry"
+)
+
+// TestServiceMetricsFamilies scrapes the registry after real traffic and
+// asserts every documented family is present and the traffic moved the
+// right ones.
+func TestServiceMetricsFamilies(t *testing.T) {
+	s := New(Options{})
+	h := testHyper(t)
+	if _, err := s.Solve(context.Background(), h, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background(), h, ""); err != nil { // cache hit
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, fam := range []string{
+		"semimatch_requests_total",
+		"semimatch_cache_hits_total",
+		"semimatch_cache_misses_total",
+		"semimatch_cache_evictions_total",
+		"semimatch_cache_entries",
+		"semimatch_coalesced_total",
+		"semimatch_solves_total",
+		"semimatch_solve_errors_total",
+		"semimatch_truncated_total",
+		"semimatch_overloaded_total",
+		"semimatch_verify_failures_total",
+		"semimatch_disk_hits_total",
+		"semimatch_disk_misses_total",
+		"semimatch_disk_writes_total",
+		"semimatch_disk_write_errors_total",
+		"semimatch_disk_reaped_total",
+		"semimatch_in_flight",
+		"semimatch_search_nodes_total",
+		"semimatch_search_nodes_per_second",
+		"semimatch_ledger_errors_total",
+		"semimatch_uptime_seconds",
+		"semimatch_queue_wait_seconds",
+	} {
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			t.Errorf("scrape missing family %s", fam)
+		}
+	}
+	if !strings.Contains(text, "semimatch_requests_total 2") {
+		t.Errorf("requests_total not 2 after two requests:\n%s", firstLines(text, "semimatch_requests_total"))
+	}
+	if !strings.Contains(text, "semimatch_solves_total 1") {
+		t.Errorf("solves_total not 1 after one fresh solve")
+	}
+	if !strings.Contains(text, "semimatch_cache_hits_total 1") {
+		t.Errorf("cache_hits_total not 1 after a repeat request")
+	}
+	if !strings.Contains(text, "semimatch_queue_wait_seconds_count 1") {
+		t.Errorf("queue_wait histogram did not observe the admitted solve")
+	}
+}
+
+func firstLines(text, prefix string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.HasPrefix(l, prefix) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestServiceStatsGauges covers the /stats additions: queue length and
+// uptime.
+func TestServiceStatsGauges(t *testing.T) {
+	s := New(Options{QueueDepth: 7})
+	if _, err := s.Solve(context.Background(), testHyper(t), "SGH"); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.QueueLen != 0 {
+		t.Errorf("idle queue_len = %d", st.QueueLen)
+	}
+	if st.QueueDepth != 7 {
+		t.Errorf("queue_depth = %d", st.QueueDepth)
+	}
+	if st.UptimeS <= 0 {
+		t.Errorf("uptime_s = %v", st.UptimeS)
+	}
+}
+
+// TestServiceLedger asserts fresh solves append exactly one record each
+// and cache hits append none.
+func TestServiceLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	s := New(Options{LedgerPath: path})
+	h := testHyper(t)
+	if _, err := s.Solve(context.Background(), h, "SGH"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background(), h, "SGH"); err != nil { // hit: no record
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background(), h, ""); err != nil { // fresh: auto
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadLedger(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("ledger has %d records, want 2 (fresh solves only)", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Source != "service" {
+			t.Errorf("record source = %q", rec.Source)
+		}
+		if rec.Fingerprint == "" || rec.Class != "MULTIPROC" || rec.Tasks == 0 {
+			t.Errorf("record features incomplete: %+v", rec)
+		}
+		if rec.Status == "" || rec.WallS < 0 {
+			t.Errorf("record outcome incomplete: %+v", rec)
+		}
+	}
+	if recs[0].Algorithm != "SGH" {
+		t.Errorf("first record algorithm = %q", recs[0].Algorithm)
+	}
+	if !strings.HasPrefix(recs[1].Algorithm, "auto") {
+		t.Errorf("second record algorithm = %q, want auto-prefixed", recs[1].Algorithm)
+	}
+}
+
+// TestServiceRequestTrace asserts the TraceWriter receives the documented
+// request span tree for a fresh solve and a compact one for a cache hit.
+func TestServiceRequestTrace(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Options{TraceWriter: &buf})
+	h := testHyper(t)
+	if _, err := s.Solve(context.Background(), h, ""); err != nil {
+		t.Fatal(err)
+	}
+	fresh := buf.String()
+	for _, want := range []string{
+		`"request"`, `"canonicalize"`, `"queue-wait"`, `"solve"`,
+		`"verify"`, `"cache-admission"`, `"outcome":"solved"`,
+	} {
+		if !strings.Contains(fresh, want) {
+			t.Errorf("fresh-solve trace missing %s:\n%s", want, fresh)
+		}
+	}
+	// The adopted solve trace nests under the request root.
+	if !strings.Contains(fresh, `"path":"request/solve"`) {
+		t.Errorf("solve trace not adopted under request root:\n%s", fresh)
+	}
+
+	buf.Reset()
+	if _, err := s.Solve(context.Background(), h, ""); err != nil {
+		t.Fatal(err)
+	}
+	hit := buf.String()
+	if !strings.Contains(hit, `"outcome":"cache-hit"`) {
+		t.Errorf("repeat request trace outcome not cache-hit:\n%s", hit)
+	}
+	if strings.Contains(hit, `"queue-wait"`) {
+		t.Errorf("cache hit should never reach admission:\n%s", hit)
+	}
+}
+
+// TestServiceLiveSolves asserts the live table registers solves, feeds
+// progress snapshots through the hook, and empties on completion.
+func TestServiceLiveSolves(t *testing.T) {
+	s := New(Options{})
+	req := &request{fp: "fp-live", alg: "BnB-MP"}
+	key, hook := s.trackLive(req)
+	hook(telemetry.SearchProgress{Nodes: 42, NodesPerSec: 1000})
+	ls := s.LiveSolves()
+	if len(ls) != 1 {
+		t.Fatalf("live solves = %d, want 1", len(ls))
+	}
+	if ls[0].Fingerprint != "fp-live" || ls[0].Algorithm != "BnB-MP" {
+		t.Errorf("live entry = %+v", ls[0])
+	}
+	if ls[0].Progress.Nodes != 42 {
+		t.Errorf("live progress nodes = %d", ls[0].Progress.Nodes)
+	}
+	// The node-rate gauge aggregates over live searches.
+	var buf bytes.Buffer
+	if err := s.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "semimatch_search_nodes_per_second 1000") {
+		t.Errorf("node-rate gauge not fed from live table:\n%s",
+			firstLines(buf.String(), "semimatch_search_nodes_per_second"))
+	}
+	s.untrackLive(key)
+	if n := len(s.LiveSolves()); n != 0 {
+		t.Errorf("live solves after completion = %d, want 0", n)
+	}
+
+	// End-to-end: a real solve leaves the table empty afterwards and
+	// lands its nodes in the counter.
+	if _, err := s.Solve(context.Background(), testHyper(t), ""); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.LiveSolves()); n != 0 {
+		t.Errorf("live solves after real solve = %d, want 0", n)
+	}
+}

@@ -1,0 +1,76 @@
+package solve
+
+import (
+	"semimatch/internal/registry"
+	"semimatch/internal/telemetry"
+)
+
+// Features extracts the cheap instance features the solve ledger records
+// and the adaptive auto policy consumes: dimensions, assignment-option
+// count and density, and the weight spread. One pass over the instance
+// arrays, no allocation beyond the struct.
+func Features(p Problem) telemetry.InstanceFeatures {
+	f := telemetry.InstanceFeatures{
+		Class: p.Class().String(),
+		Tasks: p.NTasks(),
+		Procs: p.NProcs(),
+	}
+	var wmin, wmax int64
+	if p.Class() == registry.MultiProc {
+		h := p.Hypergraph()
+		f.Edges = h.NumEdges()
+		for _, w := range h.Weight {
+			if wmin == 0 || w < wmin {
+				wmin = w
+			}
+			if w > wmax {
+				wmax = w
+			}
+		}
+	} else {
+		g := p.Graph()
+		f.Edges = len(g.Adj)
+		if g.Unit() {
+			wmin, wmax = 1, 1
+		} else {
+			for _, w := range g.W {
+				if wmin == 0 || w < wmin {
+					wmin = w
+				}
+				if w > wmax {
+					wmax = w
+				}
+			}
+		}
+	}
+	if f.Tasks > 0 && f.Procs > 0 {
+		f.Density = float64(f.Edges) / (float64(f.Tasks) * float64(f.Procs))
+	}
+	f.WMin, f.WMax = wmin, wmax
+	if wmin > 0 {
+		f.WSpread = float64(wmax) / float64(wmin)
+	}
+	return f
+}
+
+// NewLedgerRecord assembles one solve-ledger line from a finished
+// Report: instance features plus what ran and what it cost. source
+// names the producer ("bench", "service", "cli"); fingerprint may be
+// empty when the caller has not canonicalized the instance.
+func NewLedgerRecord(source, fingerprint string, p Problem, rep *Report) telemetry.SolveRecord {
+	rec := telemetry.SolveRecord{
+		Source:           source,
+		Fingerprint:      fingerprint,
+		InstanceFeatures: Features(p),
+		Algorithm:        rep.Solver,
+		WallS:            rep.Elapsed.Seconds(),
+		Nodes:            rep.Stats.Nodes,
+		Makespan:         rep.Makespan,
+		Bound:            rep.LowerBound,
+		Status:           rep.Status.String(),
+	}
+	if rep.Trust != 0 || rep.Certificate != nil {
+		rec.Trust = rep.Trust.String()
+	}
+	return rec
+}

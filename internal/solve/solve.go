@@ -13,6 +13,7 @@ import (
 	"semimatch/internal/portfolio"
 	"semimatch/internal/refine"
 	"semimatch/internal/registry"
+	"semimatch/internal/telemetry"
 )
 
 // ErrVerifyFailed reports that WithVerify was requested and the result's
@@ -104,6 +105,12 @@ type Report struct {
 	Incumbents int
 	// Elapsed is the wall-clock time of the whole Run.
 	Elapsed time.Duration
+	// Trace is the solve's span tree when tracing was requested
+	// (WithTrace), nil otherwise. The root "solve" span's children cover
+	// the Run's phases — "race"/"exact" (with nested compile,
+	// root-bounds, greedy, search), "refine", "verify" — each with wall
+	// time and attributes; emit with Trace.WriteNDJSON or Trace.Format.
+	Trace *telemetry.Trace
 
 	// stageMakespan tracks the best makespan during policy staging;
 	// Makespan/Loads are recomputed from the final Assignment at the end
@@ -156,6 +163,22 @@ type Options struct {
 	Verify bool
 	// Observer receives the incumbent trajectory; see Observer.
 	Observer Observer
+	// Trace records the solve's phase spans into Report.Trace; see
+	// Report.Trace for the span taxonomy. Spans are per phase, never per
+	// node, so tracing does not perturb the search.
+	Trace bool
+	// Progress receives periodic search-introspection snapshots (nodes,
+	// rate, incumbent/bound gap, steals, deque depths) from any exact
+	// stage that runs, rate-limited by ProgressInterval. Polled at the
+	// engines' existing checkpoints: node counts are identical with and
+	// without it.
+	Progress telemetry.ProgressFunc
+	// ProgressInterval is the minimum wall time between Progress
+	// snapshots; 0 means telemetry.DefaultProgressInterval.
+	ProgressInterval time.Duration
+
+	// trace is the live root span when Trace is set; RunOptions owns it.
+	trace *telemetry.Span
 }
 
 // Option is one functional Run option.
@@ -195,6 +218,13 @@ func WithVerify() Option { return func(o *Options) { o.Verify = true } }
 // WithExactLimit bounds the auto policy's exact-attempt stage to
 // instances of at most tasks tasks (negative disables the stage).
 func WithExactLimit(tasks int) Option { return func(o *Options) { o.ExactTaskLimit = tasks } }
+
+// WithTrace records the solve's phase spans into Report.Trace.
+func WithTrace() Option { return func(o *Options) { o.Trace = true } }
+
+// WithProgress registers a periodic search-introspection hook; see
+// Options.Progress.
+func WithProgress(fn telemetry.ProgressFunc) Option { return func(o *Options) { o.Progress = fn } }
 
 func (o Options) exactTaskLimit() int {
 	if o.ExactTaskLimit == 0 {
@@ -253,6 +283,13 @@ func RunOptions(ctx context.Context, p Problem, o Options) (*Report, error) {
 		defer cancel()
 	}
 	obs := newObsState(o.Observer, start)
+	if o.Trace {
+		o.trace = telemetry.StartSpan("solve")
+		o.trace.SetAttr("class", p.Class().String())
+		if o.Algorithm != "" {
+			o.trace.SetAttr("algorithm", o.Algorithm)
+		}
+	}
 
 	var rep *Report
 	var err error
@@ -272,9 +309,20 @@ func RunOptions(ctx context.Context, p Problem, o Options) (*Report, error) {
 			rep.LowerBound, rep.Status == StatusOptimal, rep.Stats.Nodes, rep.Solver)
 	}
 	if o.Verify {
-		if verr := verifyReport(p, rep); verr != nil {
+		vs := o.trace.StartChild("verify")
+		verr := verifyReport(p, rep)
+		vs.SetAttr("trust", rep.Trust.String())
+		vs.End()
+		if verr != nil {
 			err = errors.Join(err, verr)
 		}
+	}
+	if o.trace != nil {
+		o.trace.SetAttr("solver", rep.Solver)
+		o.trace.SetAttr("makespan", rep.Makespan)
+		o.trace.SetAttr("status", rep.Status.String())
+		o.trace.End()
+		rep.Trace = o.trace
 	}
 	rep.Elapsed = time.Since(start)
 	obs.final(rep)
@@ -317,6 +365,12 @@ func runNamed(ctx context.Context, p Problem, o Options, obs *obsState) (*Report
 	ropts := registry.Options{Workers: o.Workers}
 	ropts.BnB.MaxNodes = o.NodeBudget
 	ropts.BnB.Stats = &rep.Stats
+	// The engine's phase spans (compile, greedy, search) attach directly
+	// under the solve root on the named path — there is no policy staging
+	// to group them under.
+	ropts.BnB.Trace = o.trace
+	ropts.BnB.Progress = o.Progress
+	ropts.BnB.ProgressInterval = o.ProgressInterval
 	if obs.active() {
 		ropts.BnB.Observer = obs.exactFn(sol.Name)
 	}
@@ -334,8 +388,10 @@ func runNamed(ctx context.Context, p Problem, o Options, obs *obsState) (*Report
 		return nil, fmt.Errorf("solve: %s: %w", sol.Name, err)
 	}
 	if o.Refine && p.Class() == registry.MultiProc {
+		rs := o.trace.StartChild("refine")
 		refined := refine.RefineCtx(ctx, p.h, core.HyperAssignment(a), refine.Options{}).Assignment
 		a = []int32(refined)
+		rs.End()
 	}
 	rep.Assignment = a
 	return rep, nil
@@ -407,10 +463,15 @@ func runAutoHyper(ctx context.Context, p Problem, o Options, obs *obsState) (*Re
 			obs.emit(member, m, []int32(a), false)
 		}
 	}
+	raceSpan := o.trace.StartChild("race")
 	pres, err := portfolio.SolveCtx(ctx, p.h, popts)
 	if err != nil {
+		raceSpan.End()
 		return nil, fmt.Errorf("solve: %w", err)
 	}
+	raceSpan.SetAttr("winner", pres.Winner)
+	raceSpan.SetAttr("makespan", pres.Makespan)
+	raceSpan.End()
 	rep := &Report{
 		Solver:        pres.Winner,
 		Assignment:    []int32(pres.Assignment),
@@ -428,14 +489,23 @@ func runAutoHyper(ctx context.Context, p Problem, o Options, obs *obsState) (*Re
 	if exSol == nil || lim <= 0 || p.h.NTasks > lim || ctx.Err() != nil {
 		return rep, nil
 	}
+	exactSpan := o.trace.StartChild("exact")
+	exactSpan.SetAttr("solver", exSol.Name)
 	ropts := registry.Options{
-		BnB:     exact.Options{MaxNodes: o.exactNodes(), Stats: &rep.Stats},
+		BnB: exact.Options{
+			MaxNodes:         o.exactNodes(),
+			Stats:            &rep.Stats,
+			Trace:            exactSpan,
+			Progress:         o.Progress,
+			ProgressInterval: o.ProgressInterval,
+		},
 		Workers: o.exactWorkers(),
 	}
 	if obs.active() {
 		ropts.BnB.Observer = obs.exactFn(exSol.Name)
 	}
 	a, exErr := exSol.SolveHyper(ctx, p.h, ropts)
+	exactSpan.End()
 	var m int64
 	if a != nil {
 		m = core.HyperMakespan(p.h, a)
@@ -462,6 +532,7 @@ func runAutoSingle(ctx context.Context, p Problem, o Options, obs *obsState) (*R
 	}
 
 	rep := &Report{}
+	raceSpan := o.trace.StartChild("race")
 	var bestVec []int64
 	found := false
 	var firstErr error
@@ -489,6 +560,11 @@ func runAutoSingle(ctx context.Context, p Problem, o Options, obs *obsState) (*R
 			obs.emit(names[i], rep.stageMakespan, rep.Assignment, false)
 		}
 	}
+	if found {
+		raceSpan.SetAttr("winner", rep.Solver)
+		raceSpan.SetAttr("makespan", rep.stageMakespan)
+	}
+	raceSpan.End()
 	if !found {
 		if firstErr != nil {
 			return nil, firstErr
@@ -524,14 +600,23 @@ func runAutoSingle(ctx context.Context, p Problem, o Options, obs *obsState) (*R
 	if exSol == nil {
 		return rep, nil
 	}
+	exactSpan := o.trace.StartChild("exact")
+	exactSpan.SetAttr("solver", exSol.Name)
 	ropts := registry.Options{
-		BnB:     exact.Options{MaxNodes: o.exactNodes(), Stats: &rep.Stats},
+		BnB: exact.Options{
+			MaxNodes:         o.exactNodes(),
+			Stats:            &rep.Stats,
+			Trace:            exactSpan,
+			Progress:         o.Progress,
+			ProgressInterval: o.ProgressInterval,
+		},
 		Workers: o.exactWorkers(),
 	}
 	if obs.active() {
 		ropts.BnB.Observer = obs.exactFn(exSol.Name)
 	}
 	a, exErr := exSol.SolveSingle(ctx, g, ropts)
+	exactSpan.End()
 	var m int64
 	if a != nil {
 		m = core.Makespan(g, a)

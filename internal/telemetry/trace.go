@@ -1,0 +1,252 @@
+// Package telemetry is the observability layer of the repo: solve traces
+// (lightweight spans with wall times and attributes, emitted as NDJSON),
+// a dependency-free Prometheus-text metrics registry, periodic search
+// progress snapshots, and the append-only solve ledger that records
+// (instance features → algorithm, time, quality) for every bench and
+// service solve.
+//
+// The package deliberately depends on the standard library only, and on
+// nothing else in the repo, so every layer — the exact engines, the solve
+// API, the service, the benchmarks and the CLIs — can import it without
+// cycles. It defines the vocabulary (Span, SearchProgress, SolveRecord,
+// Registry); the layers fill it in.
+//
+// Everything here is off the hot path by construction: spans are created
+// per solve phase (never per search node), progress snapshots are polled
+// at the engines' existing budget-block checkpoints and rate-limited by
+// wall clock, metric scrapes read atomics, and ledger appends happen once
+// per solve. With no trace, progress hook, or ledger attached, the cost
+// is a nil check.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a larger operation: a name, a wall-clock
+// interval, ordered attributes, and child spans. Spans form a tree; the
+// root of one recorded operation is also called its Trace. A Span's
+// methods are safe for concurrent use, but the usual pattern is
+// single-threaded: start a child, do the work, End it.
+//
+// All methods are nil-receiver-safe: starting a child of a nil span
+// returns nil, and End/SetAttr/Adopt on nil are no-ops. Instrumented
+// code therefore threads an optional *Span through unconditionally —
+// when tracing is off the whole chain degenerates to nil checks.
+type Span struct {
+	// Name identifies the phase ("compile", "search", "verify", ...).
+	Name string
+	// Start is when the span began.
+	Start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// Trace is the root Span of one recorded operation — an alias kept so
+// call sites read Report.Trace rather than a bare Span.
+type Trace = Span
+
+// Attr is one span attribute. Values should be JSON-encodable scalars
+// (numbers, strings, bools).
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// StartSpan starts a root span.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// StartChild starts a new child span of s (nil when s is nil).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// AddChild attaches a pre-measured child span (a phase whose duration was
+// recorded elsewhere, e.g. inside a compiled kernel) and returns it.
+func (s *Span) AddChild(name string, start time.Time, wall time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: start, end: start.Add(wall)}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Adopt attaches an independently recorded span tree as a child of s —
+// the service uses it to graft a solve's trace under its request span.
+// nil children are ignored.
+func (s *Span) Adopt(child *Span) {
+	if s == nil || child == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+}
+
+// End marks the span finished now. Ending twice keeps the first end.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Wall is the span's wall-clock duration: end−start for a finished span,
+// time-since-start for a live one.
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.Start)
+	}
+	return end.Sub(s.Start)
+}
+
+// SetAttr records (or overwrites) one attribute.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Attr returns the value of one attribute, or (nil, false).
+func (s *Span) Attr(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Children returns a snapshot of the child spans, in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// spanRecord is the NDJSON line of one span.
+type spanRecord struct {
+	Name  string         `json:"name"`
+	Path  string         `json:"path"`
+	Depth int            `json:"depth"`
+	Start string         `json:"start"`
+	WallS float64        `json:"wall_s"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// record snapshots one span into its NDJSON form.
+func (s *Span) record(path string, depth int) spanRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := spanRecord{
+		Name:  s.Name,
+		Path:  path,
+		Depth: depth,
+		Start: s.Start.UTC().Format(time.RFC3339Nano),
+	}
+	end := s.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	rec.WallS = end.Sub(s.Start).Seconds()
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	return rec
+}
+
+// WriteNDJSON writes the span tree depth-first as newline-delimited JSON,
+// one object per span: {"name", "path", "depth", "start", "wall_s",
+// "attrs"}. Children follow their parent, so the tree can be rebuilt
+// from paths (or read flat: depth-1 spans of a solve trace partition the
+// root's wall time).
+func (s *Span) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	var walk func(sp *Span, path string, depth int) error
+	walk = func(sp *Span, path string, depth int) error {
+		if err := enc.Encode(sp.record(path, depth)); err != nil {
+			return err
+		}
+		for _, c := range sp.Children() {
+			if err := walk(c, path+"/"+c.Name, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(s, s.Name, 0)
+}
+
+// Format renders the span tree as an indented human-readable listing —
+// the -trace summary view.
+func (s *Span) Format() string {
+	var sb []byte
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		rec := sp.record("", depth)
+		for i := 0; i < depth; i++ {
+			sb = append(sb, "  "...)
+		}
+		sb = append(sb, fmt.Sprintf("%-12s %10.6fs", rec.Name, rec.WallS)...)
+		if len(rec.Attrs) > 0 {
+			b, _ := json.Marshal(rec.Attrs)
+			sb = append(sb, ' ')
+			sb = append(sb, b...)
+		}
+		sb = append(sb, '\n')
+		for _, c := range sp.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+	return string(sb)
+}

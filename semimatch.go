@@ -21,6 +21,7 @@ import (
 	"semimatch/internal/sched"
 	"semimatch/internal/service"
 	"semimatch/internal/solve"
+	"semimatch/internal/telemetry"
 )
 
 // --- The unified solve API: Problem → Run → Report ---
@@ -86,7 +87,27 @@ var (
 	// optimality claim that does not verify is downgraded to
 	// StatusHeuristic with ErrVerifyFailed returned alongside the Report.
 	WithVerify = solve.WithVerify
+	// WithTrace records the solve's phase spans (compile, root-bounds,
+	// greedy, search, refine, verify) into Report.Trace.
+	WithTrace = solve.WithTrace
+	// WithProgress registers a periodic search-introspection hook that
+	// receives SearchProgress snapshots during exact stages.
+	WithProgress = solve.WithProgress
 )
+
+// Span is one timed phase of a solve or request: a name, a wall-clock
+// interval, ordered attributes, and child spans forming a tree. Emit a
+// tree as NDJSON with WriteNDJSON or human-readable with Format.
+type Span = telemetry.Span
+
+// Trace is the root Span of one recorded solve, carried on
+// Report.Trace when WithTrace is set.
+type Trace = telemetry.Trace
+
+// SearchProgress is one periodic snapshot of a running branch-and-bound
+// search (nodes, rate, incumbent/bound gap, steals, deque depths),
+// delivered to a WithProgress hook.
+type SearchProgress = telemetry.SearchProgress
 
 // ErrVerifyFailed reports that WithVerify was requested and the result's
 // certificate did not withstand independent verification.
