@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"semimatch/internal/bench"
+)
+
+func main() {
+	targets := flag.String("targets", "", "comma-separated base URLs of the semiserve processes under load (required)")
+	duration := flag.Duration("duration", 10*time.Second, "measured load window")
+	concurrency := flag.Int("concurrency", 16, "closed-loop worker count")
+	seed := flag.Int64("seed", 1, "workload seed; the same seed replays the same request sequence")
+	mixSpec := flag.String("mix", "", "workload mix as repeat=55,iso=20,miss=20,long=5 (relative weights; empty = that default)")
+	hot := flag.Int("hot", 8, "warm working-set size the repeat/iso workloads draw from")
+	longDeadline := flag.Duration("long-deadline", 200*time.Millisecond, "?deadline the long workload requests (tight enough to truncate)")
+	outPath := flag.String("out", "", "write the loadbench report JSON to this file (empty = summary only)")
+	mergePath := flag.String("merge", "", "comma-separated BENCH json files to fold the report into as their \"loadbench\" section")
+	flag.Parse()
+	if flag.NArg() != 0 || *targets == "" {
+		fmt.Fprintln(os.Stderr, "usage: semiload -targets http://host:port[,...] [-duration 10s] [-concurrency 16] [-seed n] [-mix repeat=55,iso=20,miss=20,long=5] [-out load.json] [-merge BENCH_6.json]")
+		os.Exit(2)
+	}
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "semiload: -mix: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Ctrl-C ends the window early; whatever was measured still reports.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := bench.RunLoad(ctx, bench.LoadOptions{
+		Targets:      strings.Split(*targets, ","),
+		Duration:     *duration,
+		Concurrency:  *concurrency,
+		Seed:         *seed,
+		Mix:          mix,
+		HotInstances: *hot,
+		LongDeadline: *longDeadline,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "semiload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatLoadSummary(rep))
+
+	if *outPath != "" {
+		if err := writeReport(*outPath, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "semiload: -out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("semiload: wrote %s\n", *outPath)
+	}
+	if *mergePath != "" {
+		for _, path := range strings.Split(*mergePath, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			if err := mergeInto(path, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "semiload: -merge %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("semiload: merged loadbench section into %s\n", path)
+		}
+	}
+}
+
+// parseMix parses "repeat=55,iso=20,miss=20,long=5"; empty means the
+// default mix, and omitted workloads weigh zero.
+func parseMix(spec string) (bench.LoadMix, error) {
+	if strings.TrimSpace(spec) == "" {
+		return bench.LoadMix{}, nil // zero value → bench.DefaultLoadMix
+	}
+	var mix bench.LoadMix
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return mix, fmt.Errorf("want name=weight, got %q", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return mix, fmt.Errorf("bad weight in %q", part)
+		}
+		switch strings.TrimSpace(name) {
+		case "repeat":
+			mix.RepeatPct = w
+		case "iso":
+			mix.IsoPct = w
+		case "miss":
+			mix.MissPct = w
+		case "long":
+			mix.LongPct = w
+		default:
+			return mix, fmt.Errorf("unknown workload %q (want repeat, iso, miss, long)", name)
+		}
+	}
+	if mix.RepeatPct+mix.IsoPct+mix.MissPct+mix.LongPct == 0 {
+		return mix, fmt.Errorf("mix %q has zero total weight", spec)
+	}
+	return mix, nil
+}
+
+func writeReport(path string, rep *bench.LoadReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// mergeInto folds the report into an existing BENCH json snapshot as
+// its "loadbench" section, preserving everything else byte-for-byte at
+// the schema level (same writer the snapshot was recorded with).
+func mergeInto(path string, rep *bench.LoadReport) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	perf, err := bench.ReadPerfJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	perf.Loadbench = rep
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WritePerfJSON(out, perf); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

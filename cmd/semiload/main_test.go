@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"semimatch/internal/bench"
+)
+
+func TestParseMix(t *testing.T) {
+	if m, err := parseMix(""); err != nil || m != (bench.LoadMix{}) {
+		t.Fatalf("empty spec: %+v, %v", m, err)
+	}
+	m, err := parseMix("repeat=70, iso=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RepeatPct != 70 || m.IsoPct != 30 || m.MissPct != 0 || m.LongPct != 0 {
+		t.Fatalf("parsed %+v", m)
+	}
+	if _, err := parseMix("repeat=70,burst=30"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := parseMix("repeat"); err == nil {
+		t.Fatal("missing weight accepted")
+	}
+	if _, err := parseMix("repeat=-1,iso=2"); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := parseMix("repeat=0,iso=0"); err == nil {
+		t.Fatal("zero-total mix accepted")
+	}
+}

@@ -1,0 +1,289 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"semimatch/internal/cluster"
+	"semimatch/internal/encode"
+	"semimatch/internal/service"
+)
+
+// replica is one fleet member under test: its HTTP server and a direct
+// handle on the service for stats assertions.
+type replica struct {
+	ts  *httptest.Server
+	svc *service.Service
+	url string
+}
+
+// startFleet brings up n peered semiserve replicas on real loopback
+// listeners. The listeners are created first so every replica's base URL
+// is known before any ring is built — the same order of operations a
+// deployment with a static fleet config has.
+func startFleet(t *testing.T, n int, forward bool) []*replica {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	reps := make([]*replica, n)
+	for i := range reps {
+		ring, err := cluster.NewRing(urls[i], urls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := cluster.NewClient(cluster.ClientOptions{})
+		svc := service.New(service.Options{Peers: &peerAdapter{ring: ring, client: client}})
+		ts := httptest.NewUnstartedServer(newServer(svc, serverConfig{
+			ring: ring, client: client, forward: forward,
+		}))
+		ts.Listener.Close()
+		ts.Listener = listeners[i]
+		ts.Start()
+		t.Cleanup(ts.Close)
+		reps[i] = &replica{ts: ts, svc: svc, url: urls[i]}
+	}
+	return reps
+}
+
+// ownerOf splits a fleet into the replica owning the given instance text
+// and the others, using the same ring the replicas route by.
+func ownerOf(t *testing.T, reps []*replica, instanceText string) (owner *replica, others []*replica) {
+	t.Helper()
+	h, err := encode.ReadHypergraph(strings.NewReader(instanceText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := encode.FingerprintHypergraph(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, len(reps))
+	for i, rep := range reps {
+		urls[i] = rep.url
+	}
+	ring, err := cluster.NewRing(urls[0], urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerURL := ring.Owner(fp)
+	for _, rep := range reps {
+		if rep.url == ownerURL {
+			owner = rep
+		} else {
+			others = append(others, rep)
+		}
+	}
+	if owner == nil {
+		t.Fatalf("no replica owns %s", ownerURL)
+	}
+	return owner, others
+}
+
+// scrapeMetric returns the value line for one metric family from a
+// replica's /metrics.
+func scrapeMetric(t *testing.T, base, family string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, family+" ") {
+			return line
+		}
+	}
+	return ""
+}
+
+// TestFleetCrossReplicaVerifiedHit is the acceptance criterion: an entry
+// solved on replica A answers an isomorphic request on replica B as a
+// verified "peer" hit — B re-verifies the certificate, runs no solve of
+// its own, and admits the entry to its own cache. Forwarding is off, so
+// the peer-cache tier (not request routing) must carry the entry across.
+func TestFleetCrossReplicaVerifiedHit(t *testing.T) {
+	reps := startFleet(t, 3, false)
+	owner, others := ownerOf(t, reps, tinyHyper)
+
+	code, ra, raw := postSolve(t, owner.ts.URL+"/solve", tinyHyper)
+	if code != http.StatusOK {
+		t.Fatalf("owner solve: %d %s", code, raw)
+	}
+	if ra.CacheTier != "none" || ra.Cached {
+		t.Fatalf("owner's first solve cache_tier = %q", ra.CacheTier)
+	}
+
+	b := others[0]
+	code, rb, raw := postSolve(t, b.ts.URL+"/solve", tinyHyperIso)
+	if code != http.StatusOK {
+		t.Fatalf("peer solve: %d %s", code, raw)
+	}
+	if rb.CacheTier != "peer" || !rb.Cached {
+		t.Fatalf("cross-replica cache_tier = %q, want peer", rb.CacheTier)
+	}
+	if rb.Makespan != ra.Makespan || rb.Fingerprint != ra.Fingerprint {
+		t.Fatalf("peer hit disagrees with the origin solve: %+v vs %+v", rb, ra)
+	}
+
+	stB := b.svc.Stats()
+	if stB.PeerHits != 1 || stB.Solves != 0 {
+		t.Fatalf("B peer_hits=%d solves=%d, want 1/0", stB.PeerHits, stB.Solves)
+	}
+	if stB.VerifyFailures != 0 || stB.PeerVerifyFailures != 0 {
+		t.Fatalf("verify failures on a genuine fleet entry: %+v", stB)
+	}
+	if stA := owner.svc.Stats(); stA.PeerServed != 1 {
+		t.Fatalf("A peer_served = %d, want 1", stA.PeerServed)
+	}
+	if line := scrapeMetric(t, b.ts.URL, "semimatch_peer_hits_total"); line != "semimatch_peer_hits_total 1" {
+		t.Fatalf("B /metrics peer hits line = %q", line)
+	}
+
+	// The adopted entry is B's own now: a repeat request hits B's memory.
+	_, rb2, _ := postSolve(t, b.ts.URL+"/solve", tinyHyperIso)
+	if rb2.CacheTier != "memory" {
+		t.Fatalf("repeat on B cache_tier = %q, want memory", rb2.CacheTier)
+	}
+}
+
+// TestFleetForwarding: with forwarding on, a request posted to a
+// non-owner is relayed to the owning replica (single hop, named in the
+// response header) and the owner does the solving; the same instance
+// posted again becomes the owner's memory hit even though the client
+// never talked to the owner directly.
+func TestFleetForwarding(t *testing.T) {
+	reps := startFleet(t, 3, true)
+	owner, others := ownerOf(t, reps, tinyHyper)
+	b := others[0]
+
+	resp, err := http.Post(b.ts.URL+"/solve", "text/plain", strings.NewReader(tinyHyper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded solve: %d %s", resp.StatusCode, buf.String())
+	}
+	if got := resp.Header.Get("X-Semimatch-Forwarded-To"); got != owner.url {
+		t.Fatalf("forwarded to %q, owner is %q", got, owner.url)
+	}
+	if stA, stB := owner.svc.Stats(), b.svc.Stats(); stA.Solves != 1 || stB.Solves != 0 {
+		t.Fatalf("owner solves=%d, forwarder solves=%d, want 1/0", stA.Solves, stB.Solves)
+	}
+	if line := scrapeMetric(t, b.ts.URL, "semimatch_peer_forwards_total"); line != "semimatch_peer_forwards_total 1" {
+		t.Fatalf("forwarder /metrics = %q", line)
+	}
+
+	// Second post through the same non-owner: the owner answers from its
+	// memory cache, proving isomorphic traffic converges on one replica.
+	_, r2, _ := postSolve(t, b.ts.URL+"/solve", tinyHyperIso)
+	if r2.CacheTier != "memory" {
+		t.Fatalf("second forwarded request cache_tier = %q, want memory", r2.CacheTier)
+	}
+
+	// A request that already hopped once must be answered locally — but
+	// the peer-cache tier still finds the owner's entry, so the hop guard
+	// costs one cache fetch, not a duplicated solve.
+	req, err := http.NewRequest(http.MethodPost, b.ts.URL+"/solve", strings.NewReader(tinyHyper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.HopHeader, "1")
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hbuf bytes.Buffer
+	hbuf.ReadFrom(hresp.Body)
+	hresp.Body.Close()
+	if hresp.Header.Get("X-Semimatch-Forwarded-To") != "" {
+		t.Fatal("hop-guarded request was forwarded again")
+	}
+	if !strings.Contains(hbuf.String(), `"cache_tier":"peer"`) {
+		t.Fatalf("hop-guarded request body = %s, want a peer-tier answer", hbuf.String())
+	}
+	if st := b.svc.Stats(); st.Solves != 0 {
+		t.Fatalf("hop-guarded request re-solved on the non-owner (solves=%d)", st.Solves)
+	}
+}
+
+// TestFleetColdPeerMiss: when the owning replica has nothing cached, the
+// non-owner's peer fetch is a clean miss and the request degrades to a
+// local fresh solve — peering can never lose a request.
+func TestFleetColdPeerMiss(t *testing.T) {
+	reps := startFleet(t, 3, false)
+	_, others := ownerOf(t, reps, tinyHyper)
+	b := others[0]
+
+	code, r, raw := postSolve(t, b.ts.URL+"/solve", tinyHyper)
+	if code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, raw)
+	}
+	if r.CacheTier != "none" || r.Cached {
+		t.Fatalf("cold fleet cache_tier = %q, want none", r.CacheTier)
+	}
+	if st := b.svc.Stats(); st.PeerMisses != 1 || st.Solves != 1 {
+		t.Fatalf("peer_misses=%d solves=%d, want 1/1", st.PeerMisses, st.Solves)
+	}
+}
+
+// TestPeerCacheEndpoint: the wire endpoint itself — escaped keys round-
+// trip, misses are 404, non-GET is rejected.
+func TestPeerCacheEndpoint(t *testing.T) {
+	ts, svc := startServer(t, service.Options{})
+	_, r, _ := postSolve(t, ts.URL+"/solve", tinyHyper)
+	key := r.Fingerprint + "|auto|inf"
+
+	resp, err := http.Get(ts.URL + cluster.CacheKeyPath(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET entry: %d", resp.StatusCode)
+	}
+	var e service.PeerEntry
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Key != key || e.Makespan != r.Makespan || e.Certificate == nil {
+		t.Fatalf("served entry %+v", e)
+	}
+	if svc.Stats().PeerServed != 1 {
+		t.Fatal("peer_served not counted")
+	}
+
+	if resp, err := http.Get(ts.URL + cluster.CacheKeyPath("nothing|auto|inf")); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("miss status = %d, want 404", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Post(ts.URL+cluster.CacheKeyPath(key), "text/plain", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+		}
+	}
+}

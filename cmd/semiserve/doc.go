@@ -9,6 +9,12 @@
 // and before serving from disk, so a restart warms the cache from disk
 // without ever trusting stale or tampered files.
 //
+// With -peers/-self, N semiserve processes form a shared-nothing fleet:
+// requests route by instance fingerprint over a rendezvous-hash ring
+// (internal/cluster), and replicas exchange verified cache entries, so
+// adding processes multiplies both solve throughput and effective cache
+// capacity — see "Clustering" below.
+//
 // Usage:
 //
 //	semiserve                          # listen on :8080
@@ -22,6 +28,9 @@
 //	semiserve -ledger solves.jsonl     # append one solve-ledger record per solve
 //	semiserve -trace traces.ndjson     # NDJSON request-span trees ("-" = stderr)
 //	semiserve -pprof                   # mount net/http/pprof under /debug/pprof/
+//	semiserve -self http://10.0.0.3:8080 \
+//	          -peers http://10.0.0.3:8080,http://10.0.0.4:8080 \
+//	          -addr :8080              # one replica of a two-process fleet
 //
 // # POST /solve
 //
@@ -67,8 +76,8 @@
 //	                                   // exhaustive | none (omitted when no
 //	                                   // certificate was issued)
 //	  "cached": true,                  // served from a cache tier
-//	  "cache_tier": "memory",          // which tier: memory | disk
-//	                                   // (omitted for freshly solved)
+//	  "cache_tier": "memory",          // which tier: memory | disk | peer
+//	                                   // ("none" for freshly solved)
 //	  "elapsed_s": 0.0031,             // solve wall-clock (≈0 for hits)
 //	  "assignment": [0, 2, 5],         // task → processor (bipartite) or
 //	                                   // task → hyperedge id (hypergraph,
@@ -134,7 +143,11 @@
 //
 // With -cache-dir the disk tier adds disk_hits, disk_misses,
 // disk_writes, disk_write_errors and disk_reaped (garbled or
-// unverifiable entries removed on load).
+// unverifiable entries removed on load). With -peers the peer tier adds
+// peer_hits (entries adopted from the owning replica after local
+// re-verification), peer_misses, peer_errors, peer_verify_failures
+// (rejected peer entries — shape mismatch or lying certificate; never
+// cached) and peer_served (entries handed to peers).
 //
 // # GET /metrics
 //
@@ -169,4 +182,46 @@
 // # GET /healthz
 //
 // "ok" with status 200; for load balancers and the CI smoke test.
+//
+// # Clustering (-peers, -self)
+//
+// -peers takes the comma-separated base URLs of every replica in the
+// fleet (bare host:port is accepted; listing or omitting this process's
+// own URL both work) and -self this replica's URL as peers reach it.
+// Every replica builds the same rendezvous-hash ring from that static
+// list — spellings and order are normalized away — so the fleet agrees
+// on which replica owns each instance fingerprint with no coordination,
+// and removing a replica remaps only its own ~1/N share of keys.
+// Because fingerprints are canonical (isomorphic instances hash equal),
+// all restatements of one instance converge on one replica's cache and
+// single-flight group no matter where clients post them.
+//
+// Two cooperating mechanisms use the ring:
+//
+// Request forwarding (-forward, default true): a /solve request whose
+// fingerprint another replica owns is relayed there in one hop, marked
+// with an X-Semimatch-Hop header so the receiving replica always answers
+// locally — a stale peer list degrades to one extra hop, never a loop.
+// The relayed response carries X-Semimatch-Forwarded-To naming the
+// owner; a transport failure falls back to a local solve, so a dead
+// replica costs latency, not availability. With -forward=false every
+// replica answers its own traffic and relies on cache peering alone.
+//
+// Cache peering (always on with -peers): on a local memory+disk miss,
+// the single-flight leader asks the owning replica for its entry over
+//
+//	GET /internal/cache/{key}
+//
+// where {key} is the path-escaped cache key "fingerprint|algorithm|
+// budget-class". The owner answers from its memory or disk tier with
+// the entry JSON — the same durable fields the disk tier persists (key
+// echo, kind, fingerprint, algorithm, makespan, assignment, loads,
+// lower_bound, optimal, certificate) — or 404 on a miss. The fetching
+// replica re-verifies the entry's certificate against its own canonical
+// instance before adopting it (cache_tier "peer"), so no replica ever
+// trusts another's arithmetic: a tampered or lying entry is dropped,
+// counted in peer_verify_failures and verify_failures, and never enters
+// any cache tier. Peer fetches run under -peer-timeout, tightened to
+// half the request's remaining deadline, so a slow peer cannot hold a
+// coalesced group past its budget.
 package main

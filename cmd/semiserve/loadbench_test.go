@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"semimatch/internal/bench"
+)
+
+// TestLoadbenchAgainstFleet drives the real load generator against a
+// real two-replica fleet (cache peering only, no forwarding) for a
+// short window: the BENCH_<n>.json loadbench recording in miniature.
+// With repeats and isomorphs landing on both replicas, the entry each
+// hot instance's owner solved must cross to the other replica as
+// verified peer hits — the fleet-wide counter movement the recorded
+// snapshot asserts.
+func TestLoadbenchAgainstFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet load generation in -short mode")
+	}
+	reps := startFleet(t, 2, false)
+	targets := []string{reps[0].url, reps[1].url}
+
+	rep, err := bench.RunLoad(context.Background(), bench.LoadOptions{
+		Targets:      targets,
+		Duration:     700 * time.Millisecond,
+		Concurrency:  4,
+		Seed:         11,
+		HotInstances: 4,
+		Mix:          bench.LoadMix{RepeatPct: 70, IsoPct: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d", rep.Requests, rep.Errors)
+	}
+	// Every measured request repeats a warm instance, so nothing should
+	// solve fresh during the window: each lands as a memory hit on one
+	// replica or a (then-cached) peer hit on the other.
+	if rep.Tiers["none"] != 0 {
+		t.Fatalf("warm-only mix produced %d fresh solves: %v", rep.Tiers["none"], rep.Tiers)
+	}
+	if rep.CacheHitRate != 1 {
+		t.Fatalf("cache hit rate = %v, want 1 (%v)", rep.CacheHitRate, rep.Tiers)
+	}
+
+	peerHits, peerServed := 0.0, 0.0
+	for _, tm := range rep.TargetMetrics {
+		if tm.ScrapeError != "" {
+			t.Fatalf("%s scrape: %s", tm.URL, tm.ScrapeError)
+		}
+		peerHits += tm.Deltas["semimatch_peer_hits_total"]
+		peerServed += tm.Deltas["semimatch_peer_served_total"]
+	}
+	if peerHits == 0 || peerServed == 0 {
+		t.Fatalf("no cross-replica traffic: peer_hits=%v peer_served=%v\n%s",
+			peerHits, peerServed, bench.FormatLoadSummary(rep))
+	}
+	if rep.Tiers["peer"] == 0 {
+		t.Fatalf("no peer-tier responses observed: %v", rep.Tiers)
+	}
+}

@@ -8,9 +8,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"semimatch/internal/batch"
+	"semimatch/internal/cluster"
 	"semimatch/internal/service"
 )
 
@@ -29,6 +31,10 @@ func main() {
 	ledgerPath := flag.String("ledger", "", "append one JSONL solve-ledger record per fresh solve to this file (empty disables)")
 	tracePath := flag.String("trace", "", "write one NDJSON request-trace span tree per request to this file (\"-\" = stderr, empty disables)")
 	doPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	peersList := flag.String("peers", "", "comma-separated base URLs of the fleet's replicas (self may be included); enables fingerprint-sharded routing and cache peering, requires -self")
+	selfURL := flag.String("self", "", "this replica's own base URL as peers reach it (e.g. http://10.0.0.3:8080); required with -peers")
+	doForward := flag.Bool("forward", true, "with -peers: forward solve requests whose fingerprint another replica owns (false = always answer locally, relying on cache peering alone)")
+	peerTimeout := flag.Duration("peer-timeout", service.DefaultPeerTimeout, "cap on one peer cache fetch (further tightened to half the request's remaining deadline)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: semiserve [-addr :8080] [-cache n] [-queue n] [-workers n] [-deadline d]")
@@ -68,6 +74,26 @@ func main() {
 		traceW = f
 	}
 
+	// The cluster layer: one ring and one bounded client shared by the
+	// service's peer-cache tier and the HTTP layer's request forwarding.
+	var ring *cluster.Ring
+	var peerClient *cluster.Client
+	var peerCache service.PeerCache
+	if *peersList != "" {
+		if *selfURL == "" {
+			fmt.Fprintln(os.Stderr, "semiserve: -peers requires -self (this replica's own base URL)")
+			os.Exit(2)
+		}
+		var err error
+		ring, err = cluster.NewRing(*selfURL, strings.Split(*peersList, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semiserve: -peers: %v\n", err)
+			os.Exit(2)
+		}
+		peerClient = cluster.NewClient(cluster.ClientOptions{FetchTimeout: *peerTimeout})
+		peerCache = &peerAdapter{ring: ring, client: peerClient}
+	}
+
 	svc := service.New(service.Options{
 		CacheEntries:    *cacheEntries,
 		CacheDir:        *cacheDir,
@@ -77,6 +103,8 @@ func main() {
 		Batch:           batch.Options{Refine: *doRefine},
 		LedgerPath:      *ledgerPath,
 		TraceWriter:     traceW,
+		Peers:           peerCache,
+		PeerTimeout:     *peerTimeout,
 	})
 	defer svc.Close()
 
@@ -104,6 +132,9 @@ func main() {
 			maxBody:     *maxBody,
 			logger:      logger,
 			pprof:       *doPprof,
+			ring:        ring,
+			client:      peerClient,
+			forward:     *doForward,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"semimatch/internal/cluster"
 	"semimatch/internal/encode"
 	"semimatch/internal/hypergraph"
 	"semimatch/internal/registry"
@@ -48,6 +49,15 @@ type serverConfig struct {
 	logger *slog.Logger
 	// pprof mounts net/http/pprof under /debug/pprof/.
 	pprof bool
+	// ring and client enable the cluster layer (-peers/-self): the
+	// /internal/cache peer endpoint and, with forward, fingerprint-
+	// sharded request routing. Both nil means a standalone server.
+	ring   *cluster.Ring
+	client *cluster.Client
+	// forward routes solve requests for non-owned fingerprints to the
+	// owning replica; false serves everything locally and relies on
+	// cache peering alone.
+	forward bool
 }
 
 // server is the HTTP front end over one Service.
@@ -66,6 +76,11 @@ type server struct {
 	// large instances is shed before it burns that cost. nil means
 	// unlimited.
 	inflight chan struct{}
+	// Cluster layer (nil ring = standalone): see serverConfig.
+	ring    *cluster.Ring
+	client  *cluster.Client
+	forward bool
+	fwd     forwardCounters
 }
 
 // newServer wires the HTTP routes and the instrumentation middleware
@@ -73,7 +88,10 @@ type server struct {
 // the HTTP metric families into svc's registry, so each Service can front
 // at most one server.
 func newServer(svc *service.Service, cfg serverConfig) http.Handler {
-	s := &server{svc: svc, maxDeadline: cfg.maxDeadline, maxBody: cfg.maxBody, log: cfg.logger}
+	s := &server{
+		svc: svc, maxDeadline: cfg.maxDeadline, maxBody: cfg.maxBody, log: cfg.logger,
+		ring: cfg.ring, client: cfg.client, forward: cfg.forward,
+	}
 	if s.maxBody <= 0 {
 		s.maxBody = defaultMaxBody
 	}
@@ -82,8 +100,13 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 	}
 	s.reqLatency = svc.Metrics().Histogram("semimatch_http_request_seconds",
 		"HTTP request latency, handler entry to response end.", nil)
+	s.svc.Metrics().CounterFunc("semimatch_peer_forwards_total",
+		"Solve requests forwarded to the replica owning their fingerprint.", s.fwd.forwards.Load)
+	s.svc.Metrics().CounterFunc("semimatch_peer_forward_errors_total",
+		"Forward attempts that failed in transport (answered locally instead).", s.fwd.forwardErrors.Load)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/internal/cache/", s.handlePeerCache)
 	mux.HandleFunc("/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -192,8 +215,9 @@ type solveResponse struct {
 	// "average-load", "max-element", "exhaustive" or "none".
 	Witness string `json:"witness,omitempty"`
 	Cached  bool   `json:"cached"`
-	// CacheTier names the tier that answered: "memory", "disk", or
-	// omitted for a fresh solve.
+	// CacheTier names the tier that answered: "memory", "disk", "peer"
+	// (adopted from the owning replica after local re-verification), or
+	// "none" for a fresh solve.
 	CacheTier string  `json:"cache_tier,omitempty"`
 	ElapsedS  float64 `json:"elapsed_s"`
 	// Assignment maps task → processor (bipartite) or task → hyperedge id
@@ -260,6 +284,10 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		info = &reqInfo{}
 	}
 	info.alg = r.URL.Query().Get("alg")
+	if s.maybeForward(w, r, body, instance) {
+		info.tier = "forwarded"
+		return
+	}
 	res, err := s.svc.Solve(ctx, instance, info.alg)
 	if err != nil {
 		status := http.StatusInternalServerError

@@ -282,14 +282,14 @@ func TestStatsGauges(t *testing.T) {
 	}
 }
 
-// TestCacheTierField: the response's cache_tier distinguishes fresh,
-// memory-hit and (via restart) disk-hit answers.
+// TestCacheTierField: the response's cache_tier distinguishes fresh
+// ("none"), memory-hit and (via restart) disk-hit answers.
 func TestCacheTierField(t *testing.T) {
 	dir := t.TempDir()
 	ts, _ := startServer(t, service.Options{CacheDir: dir})
 	_, r1, _ := postSolve(t, ts.URL+"/solve", tinyHyper)
-	if r1.CacheTier != "" {
-		t.Fatalf("fresh solve cache_tier = %q", r1.CacheTier)
+	if r1.CacheTier != "none" {
+		t.Fatalf("fresh solve cache_tier = %q, want none", r1.CacheTier)
 	}
 	_, r2, _ := postSolve(t, ts.URL+"/solve", tinyHyper)
 	if r2.CacheTier != "memory" {

@@ -174,6 +174,11 @@ type PerfReport struct {
 	MaxNodes   int64               `json:"max_nodes"`
 	Cases      []PerfCase          `json:"cases"`
 	Summary    []PerfFamilySummary `json:"summary"`
+	// Loadbench, when present, is a service-level load-generation run
+	// (cmd/semiload) folded into this snapshot — its own schema,
+	// "semimatch-loadbench/v1", versioned independently of the solver
+	// grid above.
+	Loadbench *LoadReport `json:"loadbench,omitempty"`
 }
 
 // perfHyper generates one MULTIPROC perf instance.

@@ -86,6 +86,25 @@ func (c *lruCache) get(key string) (*Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
+// peek returns the cached result for key without touching the hit/miss
+// counters — for peer-serving lookups (PeerLookup), which would otherwise
+// pollute this replica's own serving stats. Recency is still refreshed:
+// an entry hot across the fleet is worth keeping resident.
+func (c *lruCache) peek(key string) (*Result, bool) {
+	if len(c.shards) == 0 {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
 // put stores res under key, evicting the least recently used entry of the
 // shard when it is full.
 func (c *lruCache) put(key string, res *Result) {

@@ -156,6 +156,28 @@ func (dc *diskCache) get(key string, revalidate func(*Result) error) (*Result, b
 	return res, true
 }
 
+// getRaw looks the key up with integrity checks only — no certificate
+// revalidation — for serving peer replicas, which re-verify entries on
+// their own side before admission (a cert.Verify here would be redundant
+// work on this replica's serving path). Corrupt or foreign files are
+// still reaped; the hit/miss counters are left untouched so peer-serving
+// traffic cannot pollute this replica's own cache stats.
+func (dc *diskCache) getRaw(key string) (*Result, bool) {
+	p := dc.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	res, err := decodeDiskEntry(key, data)
+	if err != nil {
+		if os.Remove(p) == nil {
+			dc.reaped.Add(1)
+		}
+		return nil, false
+	}
+	return res, true
+}
+
 // decodeDiskEntry parses and integrity-checks one entry file.
 func decodeDiskEntry(key string, data []byte) (*Result, error) {
 	rest, ok := bytes.CutPrefix(data, []byte(diskMagic+"\n"))

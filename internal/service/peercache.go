@@ -1,0 +1,194 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"semimatch/internal/cert"
+)
+
+// DefaultPeerTimeout caps one peer-cache fetch when Options.PeerTimeout
+// is zero. It is an upper bound, not the usual cost: the fetch context is
+// further tightened to half the request's remaining deadline, so a slow
+// peer can never hold a coalesced group past the caller's budget — the
+// other half is reserved for the local fallback solve.
+const DefaultPeerTimeout = 2 * time.Second
+
+// PeerEntry is the wire form of one cache entry exchanged between
+// replicas (GET /internal/cache/{key}). It deliberately mirrors the disk
+// tier's durable fields: the key echo detects entries served under the
+// wrong name, and the certificate travels with the schedule so the
+// receiving replica can re-verify everything before admission — no
+// replica ever trusts another's arithmetic.
+type PeerEntry struct {
+	Key         string            `json:"key"`
+	Kind        string            `json:"kind"`
+	Fingerprint string            `json:"fingerprint"`
+	Algorithm   string            `json:"algorithm"`
+	Makespan    int64             `json:"makespan"`
+	Assignment  []int32           `json:"assignment"`
+	Loads       []int64           `json:"loads"`
+	LowerBound  int64             `json:"lower_bound"`
+	Optimal     bool              `json:"optimal"`
+	Certificate *cert.Certificate `json:"certificate"`
+}
+
+// PeerCache is the pluggable peering tier behind the memory and disk
+// caches. The production implementation (cmd/semiserve) wraps an
+// internal/cluster ring and HTTP client; tests substitute fakes.
+// Implementations must be safe for concurrent use.
+type PeerCache interface {
+	// Owner maps an instance fingerprint to the replica that owns it,
+	// reporting self=true when this process is the owner (in which case
+	// there is no one better to ask and the tier is skipped).
+	Owner(fingerprint string) (peer string, self bool)
+	// Fetch asks peer for its entry under the full cache key. A clean
+	// miss is (nil, false, nil); errors cover transport failures,
+	// unexpected statuses and undecodable bodies. The context carries the
+	// per-fetch deadline and must bound the whole exchange.
+	Fetch(ctx context.Context, peer, key string) (*PeerEntry, bool, error)
+}
+
+// peerFetch is the leader's peer-tier lookup: resolve the owning replica,
+// fetch its entry under a deadline derived from the request's own budget,
+// and admit the entry only after full re-verification. Every failure mode
+// degrades to (nil, false) — the leader falls through to a fresh local
+// solve — so peering can only ever save work, never lose a request.
+func (s *Service) peerFetch(ctx context.Context, req *request, key string) (*Result, bool) {
+	pc := s.opts.Peers
+	if pc == nil {
+		return nil, false
+	}
+	peer, self := pc.Owner(req.fp)
+	if self || peer == "" {
+		return nil, false
+	}
+	ps := req.trace.StartChild("peer-fetch")
+	defer ps.End()
+	ps.SetAttr("peer", peer)
+	pctx, cancel := s.peerContext(ctx)
+	defer cancel()
+	entry, ok, err := pc.Fetch(pctx, peer, key)
+	if err != nil {
+		s.peerErrors.Add(1)
+		ps.SetAttr("result", "error")
+		return nil, false
+	}
+	if !ok {
+		s.peerMisses.Add(1)
+		ps.SetAttr("result", "miss")
+		return nil, false
+	}
+	res, err := s.admitPeer(req, key, entry)
+	if err != nil {
+		// A peer handing back an entry that does not verify is indis-
+		// tinguishable from tampering; the entry is dropped on the floor
+		// and never reaches any cache tier.
+		s.peerVerifyFailures.Add(1)
+		ps.SetAttr("result", "rejected")
+		return nil, false
+	}
+	s.peerHits.Add(1)
+	ps.SetAttr("result", "hit")
+	return res, true
+}
+
+// peerContext derives the per-fetch deadline: PeerTimeout (or the
+// default), tightened to half the request's remaining budget so the
+// fallback solve keeps the other half. The child context can therefore
+// never outlive the caller's own deadline.
+func (s *Service) peerContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	budget := s.opts.PeerTimeout
+	if budget <= 0 {
+		budget = DefaultPeerTimeout
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if half := time.Until(d) / 2; half < budget {
+			budget = half
+		}
+	}
+	return context.WithTimeout(ctx, budget)
+}
+
+// admitPeer decides whether a peer's entry may answer this request. It
+// mirrors the disk tier's revalidate: the entry's shape must match the
+// request, its certificate must be internally consistent with the
+// schedule it ships, and cert.Verify must independently re-prove the
+// claims against this replica's own canonical instance. The derived
+// fields are then recomputed locally rather than trusted, so a lying
+// peer can at worst be rejected (and counted), never believed. A non-nil
+// error also bumps Stats.VerifyFailures when the certificate itself was
+// the lie.
+func (s *Service) admitPeer(req *request, key string, e *PeerEntry) (*Result, error) {
+	if e == nil {
+		return nil, errors.New("service: peer entry: empty")
+	}
+	if e.Key != key {
+		return nil, fmt.Errorf("service: peer entry key %q, want %q", e.Key, key)
+	}
+	if e.Kind != req.kind {
+		return nil, fmt.Errorf("service: peer entry kind %q, want %q", e.Kind, req.kind)
+	}
+	c := e.Certificate
+	if c == nil {
+		return nil, errors.New("service: peer entry has no certificate")
+	}
+	if len(c.Assignment) != len(e.Assignment) {
+		return nil, errors.New("service: peer entry assignment differs from its certificate")
+	}
+	for i, v := range c.Assignment {
+		if e.Assignment[i] != v {
+			return nil, errors.New("service: peer entry assignment differs from its certificate")
+		}
+	}
+	tier, err := cert.Verify(req.instance(), c)
+	if err != nil {
+		s.verifyFailures.Add(1)
+		return nil, err
+	}
+	res := &Result{
+		Kind:        req.kind,
+		Fingerprint: req.fp,
+		Algorithm:   e.Algorithm,
+		Assignment:  e.Assignment,
+		LowerBound:  c.LowerBound,
+		Certificate: c,
+		Trust:       tier,
+		Optimal:     e.Optimal,
+		fromPeer:    true,
+	}
+	// Recompute what the certificate proves correct; trust nothing else.
+	res.Makespan, res.Loads = req.problem().MakespanLoads(res.Assignment)
+	return res, nil
+}
+
+// PeerLookup answers a peer's GET /internal/cache/{key}: the entry under
+// key from the memory tier, falling back to a raw disk read (integrity-
+// checked but not re-verified — the requesting replica verifies on its
+// own side, so spending a cert.Verify here would be redundant work on
+// the serving replica's hot path). Served entries are counted in
+// Stats.PeerServed.
+func (s *Service) PeerLookup(key string) (*PeerEntry, bool) {
+	res, ok := s.cache.peek(key)
+	if !ok && s.disk != nil {
+		res, ok = s.disk.getRaw(key)
+	}
+	if !ok {
+		return nil, false
+	}
+	s.peerServed.Add(1)
+	return &PeerEntry{
+		Key:         key,
+		Kind:        res.Kind,
+		Fingerprint: res.Fingerprint,
+		Algorithm:   res.Algorithm,
+		Makespan:    res.Makespan,
+		Assignment:  res.Assignment,
+		Loads:       res.Loads,
+		LowerBound:  res.LowerBound,
+		Optimal:     res.Optimal,
+		Certificate: res.Certificate,
+	}, true
+}

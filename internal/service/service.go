@@ -116,6 +116,17 @@ type Options struct {
 	// and cache-admission phases under a "request" root. Writes are
 	// serialized; the writer need not be concurrency-safe.
 	TraceWriter io.Writer
+	// Peers enables the peer-cache tier behind the memory and disk
+	// caches: on a local miss the single-flight leader asks the replica
+	// that owns the instance's fingerprint for its entry, re-verifies the
+	// entry's certificate locally, and adopts it on success (one peer
+	// fetch per coalesced group). nil disables the tier. See PeerCache.
+	Peers PeerCache
+	// PeerTimeout caps one peer-cache fetch; 0 means DefaultPeerTimeout.
+	// The fetch deadline is additionally tightened to half the request's
+	// remaining budget, so a slow peer can never consume time the local
+	// fallback solve would need.
+	PeerTimeout time.Duration
 }
 
 func (o Options) cacheEntries() int {
@@ -183,11 +194,13 @@ type Result struct {
 	// cached.
 	Truncated bool
 	// Cached reports that this result was served from a cache tier
-	// (memory or disk) rather than a fresh solve.
+	// (memory, disk or a peer replica) rather than a fresh solve.
 	Cached bool
 	// Tier names the cache tier that answered this request: "memory",
-	// "disk", or "" for a fresh solve. Access logs and traces use it;
-	// Cached == (Tier != "").
+	// "disk", "peer" (adopted from the owning replica after local
+	// re-verification), or "none" for a fresh solve. It is always
+	// stamped, so consumers (semiload, the ledger, access logs) can
+	// distinguish tiers without inference; Cached == (Tier != "none").
 	Tier string
 	// Elapsed is the wall-clock solve time (zero-ish for cache hits).
 	Elapsed time.Duration
@@ -199,6 +212,10 @@ type Result struct {
 	// fromDisk marks a result loaded from the disk tier, so the teardown
 	// path promotes it to the memory LRU without rewriting the file.
 	fromDisk bool
+	// fromPeer marks a result adopted (after local re-verification) from
+	// the owning replica's cache; the teardown path admits it to both
+	// local tiers like a fresh solve.
+	fromPeer bool
 }
 
 // Stats is a counters snapshot for monitoring (GET /stats).
@@ -231,8 +248,23 @@ type Stats struct {
 	DiskWrites      uint64 `json:"disk_writes"`
 	DiskWriteErrors uint64 `json:"disk_write_errors"`
 	DiskReaped      uint64 `json:"disk_reaped"`
-	InFlight        int64  `json:"in_flight"`
-	QueueDepth      int    `json:"queue_depth"`
+	// PeerHits/PeerMisses/PeerErrors are the peer tier's outbound
+	// counters (all zero without Options.Peers): entries adopted from the
+	// owning replica after local re-verification, owner lookups that
+	// found nothing, and fetches that failed in transport.
+	PeerHits   uint64 `json:"peer_hits"`
+	PeerMisses uint64 `json:"peer_misses"`
+	PeerErrors uint64 `json:"peer_errors"`
+	// PeerVerifyFailures counts peer entries rejected before admission —
+	// wrong shape, inconsistent or unverifiable certificate. Certificate
+	// lies are additionally counted in VerifyFailures. Nonzero means a
+	// buggy or hostile replica; the entries never reach any cache tier.
+	PeerVerifyFailures uint64 `json:"peer_verify_failures"`
+	// PeerServed counts entries this replica handed to peers over
+	// GET /internal/cache/{key}.
+	PeerServed uint64 `json:"peer_served"`
+	InFlight   int64  `json:"in_flight"`
+	QueueDepth int    `json:"queue_depth"`
 	// QueueLen is the number of admission slots held right now — solves
 	// queued or running; QueueDepth − QueueLen is the remaining headroom
 	// before requests shed.
@@ -267,6 +299,13 @@ type Service struct {
 	overloaded     atomic.Uint64
 	verifyFailures atomic.Uint64
 	inFlight       atomic.Int64
+
+	// Peer-tier counters (see the Stats fields of the same names).
+	peerHits           atomic.Uint64
+	peerMisses         atomic.Uint64
+	peerErrors         atomic.Uint64
+	peerVerifyFailures atomic.Uint64
+	peerServed         atomic.Uint64
 
 	// Observability (internal/telemetry): the metrics registry and the
 	// queue-wait histogram it owns, the node counter behind
@@ -420,7 +459,7 @@ func (s *Service) Solve(ctx context.Context, instance any, algorithm string) (*R
 		case <-leader.done:
 			if leader.err == nil {
 				outcome = "coalesced"
-				return req.deliver(leader.res, diskTier(leader.res)), nil
+				return req.deliver(leader.res, resultTier(leader.res)), nil
 			}
 			// The leader's failure may be its own: a leader whose request
 			// context died mid-solve fails with a context error that says
@@ -469,32 +508,44 @@ func (s *Service) Solve(ctx context.Context, instance any, algorithm string) (*R
 	if f.err != nil {
 		return nil, f.err
 	}
-	if f.res.fromDisk {
+	switch {
+	case f.res.fromDisk:
 		outcome = "disk-hit"
-	} else {
+	case f.res.fromPeer:
+		outcome = "peer-hit"
+	default:
 		outcome = "solved"
 	}
-	return req.deliver(f.res, diskTier(f.res)), nil
+	return req.deliver(f.res, resultTier(f.res)), nil
 }
 
-// diskTier is the cache-tier label of a leader's own result: "disk" when
-// the durable tier answered, "" for a fresh solve.
-func diskTier(res *Result) string {
-	if res.fromDisk {
+// resultTier is the cache-tier label of a leader's own result: "disk"
+// when the durable tier answered, "peer" when the owning replica's entry
+// was adopted, "none" for a fresh solve.
+func resultTier(res *Result) string {
+	switch {
+	case res.fromDisk:
 		return "disk"
+	case res.fromPeer:
+		return "peer"
+	default:
+		return "none"
 	}
-	return ""
 }
 
 // leaderSolve is the single-flight leader's path: consult the durable
-// tier first (one disk read serves every coalesced duplicate), then fall
-// back to an admitted fresh solve, verifying the result's certificate
-// either way.
+// tier first (one disk read serves every coalesced duplicate), then the
+// owning replica's cache (one peer fetch per coalesced group), then fall
+// back to an admitted fresh solve — verifying the result's certificate
+// whichever way it was obtained.
 func (s *Service) leaderSolve(ctx context.Context, req *request, key string) (*Result, error) {
 	if s.disk != nil {
 		if res, ok := s.disk.get(key, func(r *Result) error { return s.revalidate(req, r) }); ok {
 			return res, nil
 		}
+	}
+	if res, ok := s.peerFetch(ctx, req, key); ok {
+		return res, nil
 	}
 	res, err := s.admitAndSolve(ctx, req)
 	if err != nil {
@@ -576,11 +627,18 @@ func (s *Service) Stats() Stats {
 		Truncated:      s.truncated.Load(),
 		Overloaded:     s.overloaded.Load(),
 		VerifyFailures: s.verifyFailures.Load(),
-		InFlight:       s.inFlight.Load(),
-		QueueDepth:     s.opts.queueDepth(),
-		QueueLen:       len(s.queue),
-		Workers:        s.opts.workers(),
-		UptimeS:        time.Since(s.start).Seconds(),
+
+		PeerHits:           s.peerHits.Load(),
+		PeerMisses:         s.peerMisses.Load(),
+		PeerErrors:         s.peerErrors.Load(),
+		PeerVerifyFailures: s.peerVerifyFailures.Load(),
+		PeerServed:         s.peerServed.Load(),
+
+		InFlight:   s.inFlight.Load(),
+		QueueDepth: s.opts.queueDepth(),
+		QueueLen:   len(s.queue),
+		Workers:    s.opts.workers(),
+		UptimeS:    time.Since(s.start).Seconds(),
 	}
 	if s.disk != nil {
 		st.DiskHits, st.DiskMisses, st.DiskWrites, st.DiskWriteErrors, st.DiskReaped = s.disk.counters()
@@ -658,11 +716,11 @@ func (s *Service) newRequest(instance any, algorithm string) (*request, error) {
 
 // deliver adapts a (possibly shared, canonical-numbered) result to one
 // requester: hypergraph assignments are translated to the requester's own
-// hyperedge numbering, and the cache tier ("memory", "disk" or "" for a
-// fresh solve) is stamped.
+// hyperedge numbering, and the cache tier ("memory", "disk", "peer" or
+// "none" for a fresh solve) is stamped.
 func (req *request) deliver(res *Result, tier string) *Result {
 	out := *res
-	out.Cached = tier != ""
+	out.Cached = tier != "" && tier != "none"
 	out.Tier = tier
 	if out.Cached {
 		out.Elapsed = 0 // the documented "≈0 for hits": no solve ran

@@ -74,6 +74,16 @@ func (s *Service) newMetrics() {
 			_, _, _, _, rp := s.diskCounters()
 			return rp
 		})
+	r.CounterFunc("semimatch_peer_hits_total",
+		"Cache entries adopted from a peer replica after local re-verification.", s.peerHits.Load)
+	r.CounterFunc("semimatch_peer_misses_total",
+		"Peer-cache fetches the owning replica answered with a miss.", s.peerMisses.Load)
+	r.CounterFunc("semimatch_peer_errors_total",
+		"Peer-cache fetches that failed (transport, status or decode).", s.peerErrors.Load)
+	r.CounterFunc("semimatch_peer_verify_failures_total",
+		"Peer entries rejected before admission (shape or certificate).", s.peerVerifyFailures.Load)
+	r.CounterFunc("semimatch_peer_served_total",
+		"Cache entries this replica served to peers over /internal/cache.", s.peerServed.Load)
 	r.GaugeFunc("semimatch_in_flight",
 		"Solves in flight right now (queued or running).", func() float64 {
 			return float64(s.inFlight.Load())
