@@ -24,10 +24,34 @@ func main() {
 	longDeadline := flag.Duration("long-deadline", 200*time.Millisecond, "?deadline the long workload requests (tight enough to truncate)")
 	outPath := flag.String("out", "", "write the loadbench report JSON to this file (empty = summary only)")
 	mergePath := flag.String("merge", "", "comma-separated BENCH json files to fold the report into as their \"loadbench\" section")
+	sessionMode := flag.Bool("session", false, "drive one dynamic session instead of a request mix: replay a seeded event script one request per event, measuring per-event latency and the warm/cold node ratio")
+	sessionEvents := flag.Int("session-events", 200, "with -session, script length")
+	sessionProcs := flag.Int("session-procs", 4, "with -session, processor count")
+	sessionMulti := flag.Bool("session-multi", false, "with -session, run a MULTIPROC session")
+	sessionLambda := flag.Float64("session-lambda", 1.0, "with -session, migration-cost weight λ")
 	flag.Parse()
 	if flag.NArg() != 0 || *targets == "" {
 		fmt.Fprintln(os.Stderr, "usage: semiload -targets http://host:port[,...] [-duration 10s] [-concurrency 16] [-seed n] [-mix repeat=55,iso=20,miss=20,long=5] [-out load.json] [-merge BENCH_6.json]")
+		fmt.Fprintln(os.Stderr, "       semiload -targets http://host:port -session [-session-events 200] [-session-procs 4] [-session-multi] [-session-lambda 1] [-seed n] [-out sess.json] [-merge BENCH_7.json]")
 		os.Exit(2)
+	}
+
+	// Ctrl-C ends the window early; whatever was measured still reports.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *sessionMode {
+		runSessionLoad(ctx, sessionConfig{
+			target:  strings.Split(*targets, ",")[0],
+			events:  *sessionEvents,
+			procs:   *sessionProcs,
+			multi:   *sessionMulti,
+			lambda:  *sessionLambda,
+			seed:    *seed,
+			out:     *outPath,
+			mergeTo: *mergePath,
+		})
+		return
 	}
 
 	mix, err := parseMix(*mixSpec)
@@ -35,10 +59,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "semiload: -mix: %v\n", err)
 		os.Exit(2)
 	}
-
-	// Ctrl-C ends the window early; whatever was measured still reports.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	rep, err := bench.RunLoad(ctx, bench.LoadOptions{
 		Targets:      strings.Split(*targets, ","),
@@ -74,6 +94,54 @@ func main() {
 			}
 			fmt.Printf("semiload: merged loadbench section into %s\n", path)
 		}
+	}
+}
+
+type sessionConfig struct {
+	target  string
+	events  int
+	procs   int
+	multi   bool
+	lambda  float64
+	seed    int64
+	out     string
+	mergeTo string
+}
+
+// runSessionLoad is the -session mode: one scripted dynamic session,
+// measured per event, reported as the "sessionload" BENCH section.
+func runSessionLoad(ctx context.Context, cfg sessionConfig) {
+	rep, err := bench.RunSessionLoad(ctx, bench.SessionLoadOptions{
+		Target: cfg.target,
+		Events: cfg.events,
+		Procs:  cfg.procs,
+		Multi:  cfg.multi,
+		Lambda: cfg.lambda,
+		Seed:   cfg.seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "semiload: -session: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatSessionLoadSummary(rep))
+
+	if cfg.out != "" {
+		if err := writeJSON(cfg.out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "semiload: -out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("semiload: wrote %s\n", cfg.out)
+	}
+	for _, path := range strings.Split(cfg.mergeTo, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		if err := mergeSessionInto(path, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "semiload: -merge %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("semiload: merged sessionload section into %s\n", path)
 	}
 }
 
@@ -117,13 +185,17 @@ func parseMix(spec string) (bench.LoadMix, error) {
 }
 
 func writeReport(path string, rep *bench.LoadReport) error {
+	return writeJSON(path, rep)
+}
+
+func writeJSON(path string, v any) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(v); err != nil {
 		f.Close()
 		return err
 	}
@@ -144,6 +216,29 @@ func mergeInto(path string, rep *bench.LoadReport) error {
 		return err
 	}
 	perf.Loadbench = rep
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WritePerfJSON(out, perf); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// mergeSessionInto does the same for the "sessionload" section.
+func mergeSessionInto(path string, rep *bench.SessionLoadReport) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	perf, err := bench.ReadPerfJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	perf.Sessionload = rep
 	out, err := os.Create(path)
 	if err != nil {
 		return err

@@ -28,6 +28,8 @@
 //	semiserve -ledger solves.jsonl     # append one solve-ledger record per solve
 //	semiserve -trace traces.ndjson     # NDJSON request-span trees ("-" = stderr)
 //	semiserve -pprof                   # mount net/http/pprof under /debug/pprof/
+//	semiserve -sessions 128 -session-idle 10m  # more live dynamic sessions
+//	semiserve -sessions 0              # disable the /session endpoints
 //	semiserve -self http://10.0.0.3:8080 \
 //	          -peers http://10.0.0.3:8080,http://10.0.0.4:8080 \
 //	          -addr :8080              # one replica of a two-process fleet
@@ -178,6 +180,103 @@
 // appends a solve-ledger record (instance features, algorithm, wall,
 // nodes, status; source "service") — the same JSONL schema semibench's
 // -ledger writes, see internal/telemetry.
+//
+// # Dynamic sessions (POST /session, -sessions)
+//
+// A session is a long-lived scheduling instance that evolves by events
+// instead of being re-posted whole: tasks arrive, depart and change
+// weight, and after every event the session holds a feasible schedule —
+// first by an O(log p) online patch, then (when the instance is small
+// enough) by a bounded exact re-solve warm-started from the patched
+// schedule and adopted only when it beats the patch on the
+// migration-aware objective makespan + λ·Σ(moved task weight). See
+// internal/session and the README's dynamic-sessions section.
+//
+// POST /session opens one. The body is a session script header (the
+// same JSON object that heads a semisolve -session script file); every
+// field is optional except procs:
+//
+//	{"procs": 4,                // processor count (required, ≥ 1)
+//	 "multi": false,            // MULTIPROC session (hypergraph events)
+//	 "lambda": 1,               // migration-cost weight λ (0 = pure makespan)
+//	 "node_budget": 2000000,    // per-re-solve node cap
+//	 "exact_task_limit": 16,    // skip the exact stage above this many tasks
+//	 "compare_cold": false}     // also run a cold re-solve per event, for
+//	                            // the warm/cold node comparison (measurement)
+//
+// A 201 response is {"id": "...", "procs": 4, "multi": false,
+// "idle_timeout_s": 300}; 429 when -sessions live sessions already
+// exist. Sessions are in-memory (not replicated, not on the cluster
+// ring) and are evicted after -session-idle without events, reads or an
+// open stream. Session re-solves acquire the same admission slots as
+// /solve requests — one shared capacity — and run single-worker, so
+// per-event node counts are deterministic. An overloaded service skips
+// the re-solve (the patched schedule stands, solve_status
+// "overloaded") rather than queue-jumping. With -ledger, each adopted
+// or attempted re-solve appends a ledger record with source "session";
+// with -trace, each event emits a session-event span tree.
+//
+// GET /session lists open sessions; GET /session/{id} returns the
+// session's current state (schedule, loads, makespan, live
+// tasks, event count); DELETE /session/{id} closes it (204).
+//
+// # POST /session/{id}/events
+//
+// The body is one JSON event per line (NDJSON; a single event is a
+// one-line batch):
+//
+//	{"op": "arrive", "task": {"id": "t1",
+//	  "configs": [{"procs": [0], "weight": 5}, {"procs": [2], "weight": 5}]}}
+//	{"op": "arrive", "task": {"id": "t2",
+//	  "configs": [{"procs": [0, 1], "weight": 3}, {"procs": [2], "weight": 7}]}}
+//	{"op": "reweigh", "id": "t1", "weight": 9}
+//	{"op": "depart", "id": "t1"}
+//
+// A task arrives with its configurations — the ways it may run. In a
+// SINGLEPROC session every configuration names exactly one processor
+// (t1 above may run on processor 0 or 2); in a MULTIPROC session a
+// configuration's weight lands on every processor in its set, and one
+// configuration is chosen (t2). Events apply in order; the
+// first bad event stops the batch with 400 (410 once the session is
+// closed) and the response still carries the reports of the events
+// already applied. A 200 response is {"reports": [SessionReport, ...]}
+// with one report per event:
+//
+//	{"seq": 7,                   // session-wide event sequence number
+//	 "op": "arrive", "task": "t7",
+//	 "makespan": 42,             // after this event (adopted schedule)
+//	 "patched_makespan": 45,     // the online patch alone
+//	 "lower_bound": 40,
+//	 "score": 50,                // makespan + λ·migration_cost
+//	 "status": "optimal",        // adopted schedule's provenance:
+//	                             // "patched", or the re-solve's status
+//	 "solve_status": "optimal",  // re-solve outcome: a solve status, or
+//	                             // "skipped" | "overloaded" | "error"
+//	 "adopted": true,            // re-solve beat the patch and replaced it
+//	 "migrations": 2,            // tasks the adopted schedule moved
+//	 "migration_cost": 8,        // Σ weight of moved tasks
+//	 "nodes": 153,               // warm-started re-solve's BnB nodes
+//	 "cold_nodes": 418,          // cold comparison run's (compare_cold)
+//	 "tasks": 12, "elapsed_ns": 2100000}
+//
+// # GET /session/{id}/events (SSE)
+//
+// The same path with GET streams the session over Server-Sent Events
+// (Content-Type text/event-stream, exempt from the server's write
+// timeout). Events, each with a JSON data payload:
+//
+//	state      first event on connect: the session state snapshot
+//	incumbent  a re-solve improved its schedule mid-search: {"seq": ...,
+//	           "makespan": ..., "assignment": [...], "solver": ...,
+//	           "elapsed_s": ..., "final": ...} — seq ties the trajectory
+//	           to the session event that triggered the re-solve
+//	report     one SessionReport per applied event (same object as the
+//	           POST response)
+//	closed     the session was deleted or evicted; the stream ends
+//
+// A slow consumer is dropped-from, not waited-for: each subscriber has a
+// bounded buffer and pushes beyond it are discarded, so streaming never
+// stalls event processing.
 //
 // # GET /healthz
 //

@@ -31,6 +31,8 @@ func main() {
 	ledgerPath := flag.String("ledger", "", "append one JSONL solve-ledger record per fresh solve to this file (empty disables)")
 	tracePath := flag.String("trace", "", "write one NDJSON request-trace span tree per request to this file (\"-\" = stderr, empty disables)")
 	doPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	maxSessions := flag.Int("sessions", 64, "max concurrently open dynamic sessions (0 disables the /session endpoints)")
+	sessionIdle := flag.Duration("session-idle", 5*time.Minute, "evict sessions with no events and no open stream for this long (0 = never)")
 	peersList := flag.String("peers", "", "comma-separated base URLs of the fleet's replicas (self may be included); enables fingerprint-sharded routing and cache peering, requires -self")
 	selfURL := flag.String("self", "", "this replica's own base URL as peers reach it (e.g. http://10.0.0.3:8080); required with -peers")
 	doForward := flag.Bool("forward", true, "with -peers: forward solve requests whose fingerprint another replica owns (false = always answer locally, relying on cache peering alone)")
@@ -135,6 +137,9 @@ func main() {
 			ring:        ring,
 			client:      peerClient,
 			forward:     *doForward,
+			sessions:    *maxSessions,
+			sessionIdle: *sessionIdle,
+			trace:       traceW != nil,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,

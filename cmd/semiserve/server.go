@@ -58,6 +58,15 @@ type serverConfig struct {
 	// owning replica; false serves everything locally and relies on
 	// cache peering alone.
 	forward bool
+	// sessions caps concurrently open dynamic sessions (-sessions); 0
+	// disables the /session endpoints entirely.
+	sessions int
+	// sessionIdle evicts sessions with no events and no open stream for
+	// this long (-session-idle); 0 means never.
+	sessionIdle time.Duration
+	// trace mirrors "a TraceWriter is configured": session re-solves then
+	// carry span trees for the session-event traces.
+	trace bool
 }
 
 // server is the HTTP front end over one Service.
@@ -81,6 +90,8 @@ type server struct {
 	client  *cluster.Client
 	forward bool
 	fwd     forwardCounters
+	// sessions owns the dynamic-session endpoints; nil when disabled.
+	sessions *sessionManager
 }
 
 // newServer wires the HTTP routes and the instrumentation middleware
@@ -104,8 +115,13 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 		"Solve requests forwarded to the replica owning their fingerprint.", s.fwd.forwards.Load)
 	s.svc.Metrics().CounterFunc("semimatch_peer_forward_errors_total",
 		"Forward attempts that failed in transport (answered locally instead).", s.fwd.forwardErrors.Load)
+	if cfg.sessions > 0 {
+		s.sessions = newSessionManager(svc, cfg.sessions, cfg.sessionIdle, cfg.trace)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/session", s.handleSessionRoot)
+	mux.HandleFunc("/session/", s.handleSession)
 	mux.HandleFunc("/internal/cache/", s.handlePeerCache)
 	mux.HandleFunc("/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -140,6 +156,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer for
+// per-request deadline control and flushing (the SSE stream needs both).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // newRequestID returns a 16-hex-char random request id.
 func newRequestID() string {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"semimatch/internal/bench"
+)
+
+// TestSessionLoadAgainstServer drives the real semiload -session engine
+// against a real server: the BENCH_<n>.json sessionload recording in
+// miniature. The engine opens its own session with the cold comparison
+// enabled, so every exact re-solve runs twice and the warm/cold node
+// totals it reports must show warm starts never searching more.
+func TestSessionLoadAgainstServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("session load generation in -short mode")
+	}
+	ts, _ := startSessionServer(t, serverConfig{sessions: 4})
+
+	rep, err := bench.RunSessionLoad(context.Background(), bench.SessionLoadOptions{
+		Target: ts.URL,
+		Events: 60,
+		Procs:  3,
+		Lambda: 1,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != bench.SessionLoadSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Events != 60 {
+		t.Fatalf("events = %d, want 60", rep.Events)
+	}
+	if rep.EventP50Ms <= 0 || rep.EventP99Ms < rep.EventP50Ms {
+		t.Fatalf("bad latency percentiles: p50=%v p99=%v", rep.EventP50Ms, rep.EventP99Ms)
+	}
+	if rep.FinalTasks <= 0 || rep.FinalMakespan <= 0 {
+		t.Fatalf("final state: tasks=%d makespan=%d", rep.FinalTasks, rep.FinalMakespan)
+	}
+	if rep.ColdNodes == 0 {
+		t.Fatal("cold comparison never ran — compare_cold not honored")
+	}
+	if rep.WarmNodes > rep.ColdNodes {
+		t.Fatalf("warm starts searched more than cold: %d > %d", rep.WarmNodes, rep.ColdNodes)
+	}
+	if rep.WarmColdRatio <= 0 || rep.WarmColdRatio > 1 {
+		t.Fatalf("warm/cold ratio = %v", rep.WarmColdRatio)
+	}
+
+	// The engine deletes its session on the way out: one opened, none
+	// still live in the service counters.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"semimatch_sessions_total 1",
+		"semimatch_sessions_open 0",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}

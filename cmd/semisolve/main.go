@@ -16,6 +16,7 @@
 //	semisolve -trace - instance.txt    # span tree to stderr, NDJSON to stdout
 //	semisolve -verify instance.txt     # re-check the result's certificate
 //	semisolve -fingerprint instance.txt   # canonical fingerprint, no solve
+//	semisolve -session script.ndjson   # replay a dynamic-session event script
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 	tracePath := flag.String("trace", "", "record a solve trace and write it as NDJSON spans to this file (\"-\" = stdout, after the summary)")
 	doVerify := flag.Bool("verify", false, "independently verify the result's certificate and print the trust tier")
 	fingerprint := flag.Bool("fingerprint", false, "print the instance's canonical fingerprint and exit without solving")
+	sessionPath := flag.String("session", "", "replay a dynamic-session event script (header line + one JSON event per line) and print per-event reports; -json emits them as NDJSON")
 	flag.Parse()
 	if *list {
 		if *jsonOut {
@@ -54,8 +56,14 @@ func main() {
 		fmt.Print(registry.FormatCatalog())
 		return
 	}
+	if *sessionPath != "" {
+		if err := runSession(*sessionPath, *jsonOut); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: semisolve [-alg name] [-progress] [-verify] [-fingerprint] [-show-loads] [-list-algorithms] <instance-file>")
+		fmt.Fprintln(os.Stderr, "usage: semisolve [-alg name] [-progress] [-verify] [-fingerprint] [-show-loads] [-session script] [-list-algorithms] <instance-file>")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"semimatch/internal/session"
+)
+
+// runSession replays a session script (a ScriptHeader line, then one JSON
+// event per line — see internal/session.ReadScript) through a fresh
+// dynamic session, printing one line per event and a closing summary.
+// With -json each event's SessionReport is emitted as one JSON line
+// instead. The exit path mirrors a live semiserve session: instant online
+// patch, then a warm-started re-solve adopted only when it wins the
+// migration-cost objective.
+func runSession(path string, jsonOut bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr, events, err := session.ReadScript(f)
+	if err != nil {
+		return err
+	}
+	opts := hdr.Options()
+	s, err := session.New(opts)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	if !jsonOut {
+		fmt.Printf("session: %d processors, %s, λ=%g, %d events\n",
+			hdr.Procs, className(hdr.Multi), hdr.Lambda, len(events))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	start := time.Now()
+	var warmNodes, coldNodes, migCost int64
+	var migrations, adopted int
+	var finalMakespan int64
+	for i, ev := range events {
+		rep, err := s.Apply(context.Background(), ev)
+		if err != nil {
+			return fmt.Errorf("event %d (%s): %w", i+1, ev.Op, err)
+		}
+		warmNodes += rep.Nodes
+		coldNodes += rep.ColdNodes
+		migrations += rep.Migrations
+		migCost += rep.MigrationCost
+		if rep.Adopted {
+			adopted++
+		}
+		finalMakespan = rep.Makespan
+		if jsonOut {
+			if err := enc.Encode(rep); err != nil {
+				return err
+			}
+			continue
+		}
+		line := fmt.Sprintf("#%-4d %-7s %-8s tasks=%-3d makespan=%d (patched %d)",
+			rep.Seq, rep.Op, rep.TaskID, rep.Tasks, rep.Makespan, rep.PatchedMakespan)
+		if rep.Adopted {
+			line += fmt.Sprintf(" adopted[%s]", rep.Status)
+			if rep.Migrations > 0 {
+				line += fmt.Sprintf(" migrated=%d cost=%d", rep.Migrations, rep.MigrationCost)
+			}
+		}
+		if rep.Nodes > 0 {
+			line += fmt.Sprintf(" nodes=%d", rep.Nodes)
+			if rep.ColdNodes > 0 {
+				line += fmt.Sprintf("/%d cold", rep.ColdNodes)
+			}
+		}
+		fmt.Println(line)
+	}
+	if !jsonOut {
+		fmt.Printf("replayed %d events in %.3fs: final makespan %d, %d re-solves adopted, %d migrations (cost %d)\n",
+			len(events), time.Since(start).Seconds(), finalMakespan, adopted, migrations, migCost)
+		if coldNodes > 0 {
+			fmt.Printf("warm starts: %d nodes vs %d cold (%.1f%% saved)\n",
+				warmNodes, coldNodes, 100*(1-float64(warmNodes)/float64(coldNodes)))
+		}
+	}
+	return nil
+}
+
+func className(multi bool) string {
+	if multi {
+		return "MULTIPROC"
+	}
+	return "SINGLEPROC"
+}

@@ -176,6 +176,38 @@
 // request traces and a JSONL solve ledger (see cmd/semiserve and
 // internal/telemetry).
 //
+// # Dynamic sessions: scheduling under change
+//
+// A one-shot Run answers a frozen instance; internal/session keeps a
+// schedule alive while the instance changes. A session consumes
+// arrive/depart/reweigh events, keeps the schedule feasible after each
+// one with the paper's O(log p) online rule (internal/online), then
+// re-runs the solve pipeline warm-started from the patched schedule —
+// WithWarmStart seeds the branch-and-bound engines with it as the
+// initial incumbent, so the search prunes against the previous answer
+// instead of rediscovering it. The re-solved schedule is adopted only
+// when it beats the patch on makespan + λ·Σ(moved task weight), so
+// running tasks are not reshuffled for marginal gains.
+//
+// The surface is cmd/semiserve's session endpoints (POST /session,
+// NDJSON events, a Server-Sent-Events incumbent stream), replayable
+// offline as a script:
+//
+//	$ cat burst.ndjson
+//	{"procs": 3, "lambda": 1}
+//	{"op": "arrive", "task": {"id": "t1", "configs": [{"procs": [0], "weight": 4}, {"procs": [1], "weight": 4}]}}
+//	{"op": "arrive", "task": {"id": "t2", "configs": [{"procs": [0], "weight": 6}]}}
+//	{"op": "reweigh", "id": "t1", "weight": 9}
+//	{"op": "depart", "id": "t2"}
+//	$ semisolve -session burst.ndjson
+//	#1    arrive  t1       tasks=1   makespan=4 (patched 4)
+//	...
+//	warm starts: 3 nodes vs 11 cold (72.7% saved)
+//
+// cmd/semiload's -session mode drives the same scripts against a live
+// server and records per-event latency percentiles and the warm/cold
+// node ratio into the BENCH_<n>.json trajectory.
+//
 // See examples/ for runnable programs and cmd/semibench for the
 // experiment harness.
 package semimatch

@@ -179,6 +179,12 @@ type PerfReport struct {
 	// "semimatch-loadbench/v1", versioned independently of the solver
 	// grid above.
 	Loadbench *LoadReport `json:"loadbench,omitempty"`
+	// Sessionload, when present, is a dynamic-session load run
+	// (cmd/semiload -session) folded into this snapshot — its own
+	// schema, "semimatch-sessionload/v1": per-event latency percentiles,
+	// migration counts and the warm/cold node ratio of a scripted
+	// session against a live server.
+	Sessionload *SessionLoadReport `json:"sessionload,omitempty"`
 }
 
 // perfHyper generates one MULTIPROC perf instance.

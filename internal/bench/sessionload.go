@@ -1,0 +1,289 @@
+// Dynamic-session load generation: the semiload -session engine.
+//
+// RunSessionLoad opens one dynamic session against a running semiserve,
+// replays a seeded arrival/departure/reweigh script one event per
+// request, and records the session-serving numbers the request-mix
+// loadbench cannot see: per-event latency percentiles, how often the
+// warm-started re-solve beat the online patch, migration counts under
+// the λ objective, and the warm/cold node ratio. The report rides inside
+// BENCH_<n>.json as the "sessionload" section (schema
+// "semimatch-sessionload/v1").
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"semimatch/internal/session"
+)
+
+// SessionLoadSchema versions the sessionload section of BENCH.json.
+const SessionLoadSchema = "semimatch-sessionload/v1"
+
+// SessionLoadOptions configures RunSessionLoad.
+type SessionLoadOptions struct {
+	// Target is the base URL of the semiserve process under load.
+	Target string
+	// Events is the script length; 0 means 200.
+	Events int
+	// Procs is the session's processor count; 0 means 4.
+	Procs int
+	// Multi runs a MULTIPROC session.
+	Multi bool
+	// Lambda is the migration-cost weight λ.
+	Lambda float64
+	// Seed makes the script reproducible; 0 means 1.
+	Seed int64
+	// MaxWeight bounds task weights; 0 means 30.
+	MaxWeight int64
+}
+
+func (o SessionLoadOptions) events() int {
+	if o.Events > 0 {
+		return o.Events
+	}
+	return 200
+}
+
+func (o SessionLoadOptions) procs() int {
+	if o.Procs > 0 {
+		return o.Procs
+	}
+	return 4
+}
+
+func (o SessionLoadOptions) seed() int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+func (o SessionLoadOptions) maxWeight() int64 {
+	if o.MaxWeight > 0 {
+		return o.MaxWeight
+	}
+	return 30
+}
+
+// SessionLoadReport is the result of one RunSessionLoad — the
+// "sessionload" section of BENCH.json.
+type SessionLoadReport struct {
+	Schema  string  `json:"schema"`
+	Created string  `json:"created"`
+	Target  string  `json:"target"`
+	Events  int     `json:"events"`
+	Procs   int     `json:"procs"`
+	Multi   bool    `json:"multi"`
+	Lambda  float64 `json:"lambda"`
+	Seed    int64   `json:"seed"`
+	// DurationS is the wall time of the whole replay.
+	DurationS float64 `json:"duration_s"`
+	// EventP50Ms/P95Ms/P99Ms are per-event request latencies: patch plus
+	// warm re-solve plus (always, for this benchmark) the cold
+	// comparison re-solve.
+	EventP50Ms float64 `json:"event_p50_ms"`
+	EventP95Ms float64 `json:"event_p95_ms"`
+	EventP99Ms float64 `json:"event_p99_ms"`
+	// Adopted counts events whose re-solved schedule beat the patch;
+	// Overloaded counts re-solves skipped by admission control.
+	Adopted    int `json:"adopted"`
+	Overloaded int `json:"overloaded"`
+	// Migrations and MigrationCost total the λ objective's moved tasks.
+	Migrations    int   `json:"migrations"`
+	MigrationCost int64 `json:"migration_cost"`
+	// WarmNodes and ColdNodes total the warm-started and cold re-solves'
+	// branch-and-bound nodes over the script; WarmColdRatio is their
+	// quotient (< 1 means warm starts saved search).
+	WarmNodes     int64   `json:"warm_nodes"`
+	ColdNodes     int64   `json:"cold_nodes"`
+	WarmColdRatio float64 `json:"warm_cold_ratio"`
+	// FinalMakespan and FinalTasks describe the schedule after the last
+	// event.
+	FinalMakespan int64 `json:"final_makespan"`
+	FinalTasks    int   `json:"final_tasks"`
+}
+
+// RunSessionLoad replays one seeded session script against o.Target and
+// returns the measured report. The same options replay the same script.
+func RunSessionLoad(ctx context.Context, o SessionLoadOptions) (*SessionLoadReport, error) {
+	target := strings.TrimRight(strings.TrimSpace(o.Target), "/")
+	if target == "" {
+		return nil, errors.New("bench: session load needs a target URL")
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	hdr := session.ScriptHeader{
+		Procs:       o.procs(),
+		Multi:       o.Multi,
+		Lambda:      o.Lambda,
+		CompareCold: true, // the warm/cold ratio is the point
+	}
+	id, err := sessionCreate(ctx, client, target, hdr)
+	if err != nil {
+		return nil, err
+	}
+	defer sessionDelete(client, target, id)
+
+	events := session.GenerateScript(session.ScriptOptions{
+		Seed:      o.seed(),
+		Events:    o.events(),
+		Procs:     o.procs(),
+		Multi:     o.Multi,
+		MaxWeight: o.maxWeight(),
+	})
+
+	rep := &SessionLoadReport{
+		Schema:  SessionLoadSchema,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Target:  target,
+		Events:  len(events),
+		Procs:   o.procs(),
+		Multi:   o.Multi,
+		Lambda:  o.Lambda,
+		Seed:    o.seed(),
+	}
+	latencies := make([]float64, 0, len(events))
+	start := time.Now()
+	for i, ev := range events {
+		if ctx.Err() != nil {
+			break
+		}
+		t0 := time.Now()
+		r, err := sessionPostEvent(ctx, client, target, id, ev)
+		latencies = append(latencies, float64(time.Since(t0).Microseconds())/1000)
+		if err != nil {
+			return nil, fmt.Errorf("bench: event %d (%s): %w", i+1, ev.Op, err)
+		}
+		if r.Adopted {
+			rep.Adopted++
+		}
+		if r.SolveStatus == "overloaded" {
+			rep.Overloaded++
+		}
+		rep.Migrations += r.Migrations
+		rep.MigrationCost += r.MigrationCost
+		rep.WarmNodes += r.Nodes
+		rep.ColdNodes += r.ColdNodes
+		rep.FinalMakespan = r.Makespan
+		rep.FinalTasks = r.Tasks
+	}
+	rep.DurationS = time.Since(start).Seconds()
+	sort.Float64s(latencies)
+	rep.EventP50Ms = round3(percentileSorted(latencies, 0.50))
+	rep.EventP95Ms = round3(percentileSorted(latencies, 0.95))
+	rep.EventP99Ms = round3(percentileSorted(latencies, 0.99))
+	if rep.ColdNodes > 0 {
+		rep.WarmColdRatio = round3(float64(rep.WarmNodes) / float64(rep.ColdNodes))
+	}
+	return rep, nil
+}
+
+// sessionCreate opens the session and returns its id.
+func sessionCreate(ctx context.Context, client *http.Client, target string, hdr session.ScriptHeader) (string, error) {
+	body, err := json.Marshal(hdr)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/session", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("bench: opening session: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("bench: POST /session returned HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &created); err != nil || created.ID == "" {
+		return "", fmt.Errorf("bench: bad session-create response %q", raw)
+	}
+	return created.ID, nil
+}
+
+// sessionPostEvent applies one event and returns its report.
+func sessionPostEvent(ctx context.Context, client *http.Client, target, id string, ev session.Event) (*session.SessionReport, error) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/session/"+id+"/events", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	var er struct {
+		Reports []*session.SessionReport `json:"reports"`
+		Error   string                   `json:"error,omitempty"`
+	}
+	if err := json.Unmarshal(raw, &er); err != nil {
+		return nil, fmt.Errorf("bad events response %q: %v", raw, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, er.Error)
+	}
+	if len(er.Reports) != 1 {
+		return nil, fmt.Errorf("%d reports for one event", len(er.Reports))
+	}
+	return er.Reports[0], nil
+}
+
+// sessionDelete closes the session; best-effort.
+func sessionDelete(client *http.Client, target, id string) {
+	req, err := http.NewRequest(http.MethodDelete, target+"/session/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// FormatSessionLoadSummary renders the human-readable run summary
+// semiload -session prints.
+func FormatSessionLoadSummary(rep *SessionLoadReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "session %s: %d events in %.2fs (%d procs, %s, λ=%g, seed %d)\n",
+		rep.Target, rep.Events, rep.DurationS, rep.Procs, sessionClass(rep.Multi), rep.Lambda, rep.Seed)
+	fmt.Fprintf(&sb, "  per-event latency: p50 %.3fms, p95 %.3fms, p99 %.3fms\n",
+		rep.EventP50Ms, rep.EventP95Ms, rep.EventP99Ms)
+	fmt.Fprintf(&sb, "  re-solves adopted %d, overloaded %d; migrations %d (cost %d)\n",
+		rep.Adopted, rep.Overloaded, rep.Migrations, rep.MigrationCost)
+	if rep.ColdNodes > 0 {
+		fmt.Fprintf(&sb, "  warm starts: %d nodes vs %d cold (ratio %.3f)\n",
+			rep.WarmNodes, rep.ColdNodes, rep.WarmColdRatio)
+	}
+	fmt.Fprintf(&sb, "  final schedule: %d tasks, makespan %d\n", rep.FinalTasks, rep.FinalMakespan)
+	return sb.String()
+}
+
+func sessionClass(multi bool) string {
+	if multi {
+		return "MULTIPROC"
+	}
+	return "SINGLEPROC"
+}

@@ -903,6 +903,10 @@ func SolveSingleProcParCtx(ctx context.Context, g *bipartite.Graph, opts Options
 	inc := core.SortedGreedy(g, core.GreedyOptions{})
 	m0 := core.Makespan(g, inc)
 	gs.SetAttr("makespan", m0)
+	var warm bool
+	if inc, m0, warm = opts.seedSP(g, inc, m0); warm {
+		gs.SetAttr("warm_start", m0)
+	}
 	gs.End()
 	workers := opts.workers()
 	sh := newParShared(inc, m0, opts.maxNodes(), workers)
@@ -916,13 +920,24 @@ func SolveSingleProcParCtx(ctx context.Context, g *bipartite.Graph, opts Options
 	if !sh.closed.Load() {
 		release := watchCancel(ctx, sh)
 		defer release()
-		root := newSPState(pr, sh)
-		tk := &ticker{sh: sh}
-		var fdepth int
-		frontier, fdepth = genFrontier(root, tk, workers*splitFactor)
-		tk.flush()
-		if len(frontier) > 0 && !sh.stop.Load() {
-			runPool(sh, func() parSearcher { return newSPState(pr, sh) }, frontier, workers, fdepth)
+		if workers == 1 {
+			// One worker gains nothing from frontier splitting; run the same
+			// uninterrupted DFS as the sequential solver so node counts — and
+			// the warm-start pruning guarantee — coincide with it.
+			s := newSPState(pr, sh)
+			s.chunkLimit = seqChunk
+			tk := &ticker{sh: sh}
+			s.run(nil, tk)
+			tk.flush()
+		} else {
+			root := newSPState(pr, sh)
+			tk := &ticker{sh: sh}
+			var fdepth int
+			frontier, fdepth = genFrontier(root, tk, workers*splitFactor)
+			tk.flush()
+			if len(frontier) > 0 && !sh.stop.Load() {
+				runPool(sh, func() parSearcher { return newSPState(pr, sh) }, frontier, workers, fdepth)
+			}
 		}
 		release()
 	}
@@ -1282,6 +1297,10 @@ func SolveMultiProcParCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Op
 	inc := core.SortedGreedyHyp(h, core.HyperOptions{})
 	m0 := core.HyperMakespan(h, inc)
 	gs.SetAttr("makespan", m0)
+	var warm bool
+	if inc, m0, warm = opts.seedMP(h, inc, m0); warm {
+		gs.SetAttr("warm_start", m0)
+	}
 	gs.End()
 	workers := opts.workers()
 	sh := newParShared(inc, m0, opts.maxNodes(), workers)
@@ -1295,13 +1314,22 @@ func SolveMultiProcParCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Op
 	if !sh.closed.Load() {
 		release := watchCancel(ctx, sh)
 		defer release()
-		root := newMPState(pr, sh)
-		tk := &ticker{sh: sh}
-		var fdepth int
-		frontier, fdepth = genFrontier(root, tk, workers*splitFactor)
-		tk.flush()
-		if len(frontier) > 0 && !sh.stop.Load() {
-			runPool(sh, func() parSearcher { return newMPState(pr, sh) }, frontier, workers, fdepth)
+		if workers == 1 {
+			// See SolveSingleProcParCtx: one worker runs the sequential DFS.
+			s := newMPState(pr, sh)
+			s.chunkLimit = seqChunk
+			tk := &ticker{sh: sh}
+			s.run(nil, tk)
+			tk.flush()
+		} else {
+			root := newMPState(pr, sh)
+			tk := &ticker{sh: sh}
+			var fdepth int
+			frontier, fdepth = genFrontier(root, tk, workers*splitFactor)
+			tk.flush()
+			if len(frontier) > 0 && !sh.stop.Load() {
+				runPool(sh, func() parSearcher { return newMPState(pr, sh) }, frontier, workers, fdepth)
+			}
 		}
 		release()
 	}

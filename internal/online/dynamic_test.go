@@ -1,0 +1,150 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAssignWeightedPicksMinResultingLoad(t *testing.T) {
+	s := New(3)
+	// Pre-load: P0=4, P1=0, P2=0.
+	if _, err := s.Assign([]int32{0}, 4); err != nil {
+		t.Fatal(err)
+	}
+	// P0 would reach 4+1=5, P1 0+3=3, P2 0+7=7 → P1 wins even though P0
+	// carries the cheapest weight.
+	p, err := s.AssignWeighted([]int32{0, 1, 2}, []int64{1, 3, 7})
+	if err != nil || p != 1 {
+		t.Fatalf("p=%d err=%v (want P1)", p, err)
+	}
+	if got := s.Loads(); got[0] != 4 || got[1] != 3 || got[2] != 0 {
+		t.Fatalf("loads=%v", got)
+	}
+	// Ties resolve to the lowest processor index: P0→4+2=6, P2→0+6=6.
+	p, err = s.AssignWeighted([]int32{2, 0}, []int64{6, 2})
+	if err != nil || p != 0 {
+		t.Fatalf("p=%d err=%v (tie should pick P0)", p, err)
+	}
+}
+
+func TestAssignWeightedErrors(t *testing.T) {
+	s := New(2)
+	if _, err := s.AssignWeighted(nil, nil); err == nil {
+		t.Fatal("empty eligibility accepted")
+	}
+	if _, err := s.AssignWeighted([]int32{0, 1}, []int64{1}); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	if _, err := s.AssignWeighted([]int32{0}, []int64{0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := s.AssignWeighted([]int32{5}, []int64{1}); err == nil {
+		t.Fatal("out-of-range processor accepted")
+	}
+	if s.Placed() != 0 {
+		t.Fatalf("failed assigns must not count: placed=%d", s.Placed())
+	}
+}
+
+func TestUnassignInvertsAssign(t *testing.T) {
+	s := New(3)
+	p1, err := s.Assign([]int32{0, 1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.AssignWeighted([]int32{0, 1, 2}, []int64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unassign(p2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unassign(p1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Placed() != 0 || s.Makespan() != 0 {
+		t.Fatalf("placed=%d makespan=%d after full departure", s.Placed(), s.Makespan())
+	}
+	for i, l := range s.Loads() {
+		if l != 0 {
+			t.Fatalf("load[%d]=%d", i, l)
+		}
+	}
+}
+
+func TestUnassignErrors(t *testing.T) {
+	s := New(2)
+	if err := s.Unassign(0, 1); err == nil {
+		t.Fatal("unassign with nothing placed accepted")
+	}
+	if _, err := s.Assign([]int32{0}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unassign(-1, 1); err == nil {
+		t.Fatal("negative processor accepted")
+	}
+	if err := s.Unassign(0, 0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if err := s.Unassign(0, 3); err == nil {
+		t.Fatal("over-release accepted (load would go negative)")
+	}
+	if err := s.Unassign(1, 1); err == nil {
+		t.Fatal("release on an unloaded processor accepted")
+	}
+}
+
+// A random churn of weighted arrivals and departures keeps the scheduler's
+// load vector equal to one recomputed from the surviving placements.
+func TestChurnLoadsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const procs = 5
+	s := New(procs)
+	type placement struct {
+		p int32
+		w int64
+	}
+	var live []placement
+	for step := 0; step < 500; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			if err := s.Unassign(live[i].p, live[i].w); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		d := 1 + rng.Intn(procs)
+		eligible := make([]int32, 0, d)
+		weights := make([]int64, 0, d)
+		for _, p := range rng.Perm(procs)[:d] {
+			eligible = append(eligible, int32(p))
+			weights = append(weights, 1+rng.Int63n(9))
+		}
+		p, err := s.AssignWeighted(eligible, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w int64
+		for i := range eligible {
+			if eligible[i] == p {
+				w = weights[i]
+			}
+		}
+		live = append(live, placement{p, w})
+	}
+	want := make([]int64, procs)
+	for _, pl := range live {
+		want[pl.p] += pl.w
+	}
+	got := s.Loads()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("load[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+	if s.Placed() != len(live) {
+		t.Fatalf("placed=%d want %d", s.Placed(), len(live))
+	}
+}

@@ -300,6 +300,16 @@ type Service struct {
 	verifyFailures atomic.Uint64
 	inFlight       atomic.Int64
 
+	// Session counters (see internal/service/sessions.go): the dynamic-
+	// session layer reports lifecycle and per-event outcomes here so the
+	// semimatch_session_* metric families live in the same registry.
+	sessionsOpen      atomic.Int64
+	sessionsTotal     atomic.Uint64
+	sessionsEvicted   atomic.Uint64
+	sessionEvents     atomic.Uint64
+	sessionAdopted    atomic.Uint64
+	sessionOverloaded atomic.Uint64
+
 	// Peer-tier counters (see the Stats fields of the same names).
 	peerHits           atomic.Uint64
 	peerMisses         atomic.Uint64

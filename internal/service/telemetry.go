@@ -98,6 +98,20 @@ func (s *Service) newMetrics() {
 			}
 			return rate
 		})
+	r.GaugeFunc("semimatch_sessions_open",
+		"Dynamic sessions open right now.", func() float64 {
+			return float64(s.sessionsOpen.Load())
+		})
+	r.CounterFunc("semimatch_sessions_total",
+		"Dynamic sessions ever opened.", s.sessionsTotal.Load)
+	r.CounterFunc("semimatch_sessions_evicted_total",
+		"Dynamic sessions closed by idle eviction.", s.sessionsEvicted.Load)
+	r.CounterFunc("semimatch_session_events_total",
+		"Session events applied (arrive, depart, reweigh).", s.sessionEvents.Load)
+	r.CounterFunc("semimatch_session_adopted_total",
+		"Session events whose re-solved schedule beat the online patch.", s.sessionAdopted.Load)
+	r.CounterFunc("semimatch_session_overloaded_total",
+		"Session re-solves skipped by admission control (patch kept).", s.sessionOverloaded.Load)
 	r.CounterFunc("semimatch_ledger_errors_total",
 		"Solve-ledger appends that failed.", s.ledgerErrors.Load)
 	r.GaugeFunc("semimatch_uptime_seconds",

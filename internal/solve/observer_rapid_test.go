@@ -1,0 +1,80 @@
+package solve
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// The dynamic-session hot pattern: many Runs in quick succession over the
+// same Problem, each with its own observer, often warm-started from the
+// previous result. The contract must hold independently per run — streams
+// never bleed into each other, every run closes with exactly one Final —
+// and the warm start must never degrade the answer.
+
+func TestObserverRapidSuccessiveRuns(t *testing.T) {
+	h := randomHyper(23, 12, 4, 3, 3, 9)
+	p := Hyper(h)
+
+	var prev []int32
+	var prevMakespan int64
+	for i := 0; i < 20; i++ {
+		var opts []Option
+		if prev != nil {
+			opts = append(opts, WithWarmStart(prev))
+		}
+		events, rep := collectIncumbents(t, p, opts...)
+		checkContract(t, p, events, rep)
+		if prev != nil && rep.Makespan > prevMakespan {
+			t.Fatalf("run %d: warm-started makespan %d worse than previous %d", i, rep.Makespan, prevMakespan)
+		}
+		prev, prevMakespan = rep.Assignment, rep.Makespan
+	}
+}
+
+// Concurrent Runs on one shared Problem: each run's observer sees only its
+// own serialized, monotone stream with one Final. The -race CI job on this
+// package turns any cross-run interference into a failure.
+func TestObserverConcurrentRunsIsolated(t *testing.T) {
+	h := hardHyper(9)
+	p := Hyper(h)
+
+	const runs = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, runs)
+	type outcome struct {
+		events []Incumbent
+		rep    *Report
+	}
+	outcomes := make([]outcome, runs)
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var events []Incumbent
+			rep, err := Run(context.Background(), p,
+				WithAlgorithm("bnb-par"), WithWorkers(2), WithNodeBudget(150_000),
+				WithObserver(func(inc Incumbent) {
+					// Deliberately unsynchronized per-run slice: the contract
+					// serializes calls within a run, and -race enforces it.
+					events = append(events, inc)
+				}))
+			if err != nil {
+				errs <- err
+				return
+			}
+			outcomes[r] = outcome{events, rep}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if o.rep == nil {
+			continue // collected via errs above
+		}
+		checkContract(t, p, o.events, o.rep)
+	}
+}

@@ -72,6 +72,11 @@ var (
 	WithWorkers = solve.WithWorkers
 	// WithNodeBudget caps branch-and-bound search nodes.
 	WithNodeBudget = solve.WithNodeBudget
+	// WithWarmStart seeds any exact stage with a known feasible schedule
+	// in the problem's own encoding: the branch-and-bound engines adopt
+	// it as their initial incumbent and prune against its makespan from
+	// the first node. An infeasible seed is ignored.
+	WithWarmStart = solve.WithWarmStart
 	// WithRefine post-processes MULTIPROC schedules with local search.
 	WithRefine = solve.WithRefine
 	// WithPortfolio restricts the auto policy's heuristic race to the
